@@ -1,0 +1,65 @@
+"""Ablation: the ES oracle's ingredients (DESIGN.md Section 4, item 5).
+
+The ES reference replaces the paper's 1%-of-M grid with multi-start
+coordinate descent. This ablation quantifies both design choices on a
+deep configuration:
+
+* descent (multi-start) vs the literal grid — cost agreement;
+* multi-start vs single-start — how much the extra starts buy (the
+  clamped model creates plateaus where one start can stall).
+"""
+
+from conftest import run_once
+
+from repro.core.allocation import CostEvaluator, ExhaustiveAllocator
+from repro.core.allocation.supernode import SupernodeLinear
+from repro.core.configuration import Configuration
+from repro.core.statistics import RelationStatistics
+from repro.experiments.common import paper_params
+from repro.experiments.timing import PAPER_LIKE_GROUPS
+
+
+def _ablation() -> dict[str, float]:
+    stats = RelationStatistics.from_counts(PAPER_LIKE_GROUPS)
+    params = paper_params()
+    results: dict[str, float] = {}
+
+    # Small configuration: descent vs the true 1% grid.
+    small = Configuration.from_notation("AB(A B)")
+    evaluator = CostEvaluator(small, stats, params)
+
+    def cost_of(allocator, config, ev, memory):
+        alloc = allocator.allocate(config, stats, memory, params)
+        return ev.cost([alloc[rel] * stats.entry_units(rel)
+                        for rel in ev.relations])
+
+    results["grid (small)"] = cost_of(
+        ExhaustiveAllocator(max_grid_relations=4), small, evaluator, 20_000)
+    results["descent (small)"] = cost_of(
+        ExhaustiveAllocator(), small, evaluator, 20_000)
+
+    # Deep configuration: multi-start descent vs SL-start-only descent.
+    deep = Configuration.from_notation("(ABCD(AB BCD(BC BD CD)))")
+    deep_eval = CostEvaluator(deep, stats, params)
+    es = ExhaustiveAllocator()
+    results["multi-start (deep)"] = cost_of(es, deep, deep_eval, 40_000)
+    sl_alloc = SupernodeLinear().allocate(deep, stats, 40_000, params)
+    start = [sl_alloc[rel] * stats.entry_units(rel)
+             for rel in deep_eval.relations]
+    single = es._descend(deep_eval, stats, 40_000, list(start),
+                         initial_step=0.08)
+    results["single-start (deep)"] = deep_eval.cost(single)
+    return results
+
+
+def bench_ablation_es_oracle(benchmark):
+    results = run_once(benchmark, _ablation)
+    print()
+    print("Eq. 7 cost reached by each ES variant:")
+    for name, cost in results.items():
+        print(f"  {name:20s} {cost:10.5f}")
+    # Descent must match the literal grid on the solvable case...
+    assert results["descent (small)"] <= results["grid (small)"] * 1.001
+    # ...and multi-start must never lose to single-start.
+    assert results["multi-start (deep)"] <= \
+        results["single-start (deep)"] * 1.0001

@@ -1,0 +1,66 @@
+"""Ablation: how should flow lengths be estimated on clustered streams?
+
+Eq. 15 divides collision rates by the mean flow length; the paper derives
+it "temporally". This ablation plans the clustered {AB,BC,BD,CD} workload
+with three statistics variants and measures the resulting plans:
+
+* ``l = 1``            — ignore clusteredness entirely;
+* gap-based flows      — netflow-style timeout segmentation;
+* calibrated flows     — inverted from a probe table's measured rate.
+"""
+
+from conftest import run_once
+
+from repro.core.attributes import AttributeSet
+from repro.core.optimizer import plan
+from repro.core.queries import QuerySet
+from repro.core.statistics import RelationStatistics
+from repro.core.feeding_graph import FeedingGraph
+from repro.experiments.common import (
+    FULL_TRACE_RECORDS,
+    netflow_stream,
+    paper_params,
+    record_count,
+)
+from repro.experiments.fig13_fig14_measured import measured_per_record_cost
+from repro.workloads.datasets import (
+    calibrated_flow_length,
+    measure_statistics,
+)
+
+
+def _ablation(full_scale: bool) -> dict[str, float]:
+    n = record_count(full_scale, FULL_TRACE_RECORDS)
+    data = netflow_stream(n)
+    queries = QuerySet.counts(["AB", "BC", "BD", "CD"])
+    relations = FeedingGraph(queries).nodes
+    params = paper_params()
+
+    no_flows = measure_statistics(data, relations)
+    gap = measure_statistics(data, relations, flow_timeout=1.0)
+    calibrated_lengths = {
+        rel: calibrated_flow_length(data, rel) for rel in relations
+    }
+    calibrated = RelationStatistics(dict(no_flows.groups),
+                                    calibrated_lengths)
+
+    measured = {}
+    for name, stats in (("l = 1", no_flows), ("gap-based", gap),
+                        ("calibrated", calibrated)):
+        p = plan(queries, stats, 40_000, params)
+        measured[name] = (measured_per_record_cost(data, p, params),
+                          str(p.configuration))
+    return measured
+
+
+def bench_ablation_flow_stats(benchmark, full_scale):
+    measured = run_once(benchmark, _ablation, full_scale=full_scale)
+    print()
+    print("measured cost/record by flow-length estimator:")
+    for name, (cost, config) in measured.items():
+        print(f"  {name:12s} {cost:8.3f}  {config}")
+    costs = {name: cost for name, (cost, _) in measured.items()}
+    # Modelling clusteredness must not hurt: either flow-aware variant
+    # should be at least as good as ignoring it (within noise).
+    assert min(costs["gap-based"], costs["calibrated"]) <= \
+        costs["l = 1"] * 1.1

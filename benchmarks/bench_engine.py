@@ -1,0 +1,42 @@
+"""Substrate benchmark: LFTA engine throughput.
+
+Times the exact vectorized engine against the sequential reference on the
+paper's deepest configuration, and reports records/second — the number
+that determines what stream rates the simulator itself can replay (the
+repro band's "high-rate stream benchmarks slow" caveat).
+"""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.queries import QuerySet
+from repro.experiments.common import netflow_stream, paper_params
+from repro.gigascope.engine import simulate
+from repro.gigascope.lfta import run_reference
+
+CONFIG = Configuration.from_notation("(ABCD(AB BCD(BC BD CD)))")
+BUCKETS = {rel: 1500 for rel in CONFIG.relations}
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return netflow_stream(200_000, seed=0)
+
+
+def bench_engine_vectorized(benchmark, trace):
+    result = benchmark(simulate, trace, CONFIG, BUCKETS, 62.0)
+    assert result.n_records == len(trace)
+    rate = len(trace) / benchmark.stats["mean"]
+    print(f"\nvectorized engine: {rate / 1e6:.2f}M records/s "
+          f"through a 6-table tree")
+
+
+def bench_engine_reference(benchmark, trace):
+    small = trace.head(10_000)
+    result = benchmark.pedantic(run_reference,
+                                args=(small, CONFIG, BUCKETS, 62.0),
+                                rounds=1, iterations=1)
+    assert result.n_records == len(small)
+    rate = len(small) / benchmark.stats["mean"]
+    print(f"\nreference engine: {rate / 1e3:.0f}k records/s "
+          "(ground truth, not for scale)")

@@ -1,0 +1,21 @@
+"""Benchmarks: the extension sensitivity studies (skew, concurrency)."""
+
+from conftest import run_once
+
+from repro.experiments.ext_sensitivity import run_concurrency, run_skew
+
+
+def bench_ext_skew(benchmark, full_scale):
+    result = run_once(benchmark, run_skew, full_scale=full_scale)
+    print()
+    print(result.render())
+    improvement = result.series_by_name("improvement (x)")
+    assert all(x > 1.5 for x in improvement.y)
+
+
+def bench_ext_concurrency(benchmark, full_scale):
+    result = run_once(benchmark, run_concurrency, full_scale=full_scale)
+    print()
+    print(result.render())
+    improvement = result.series_by_name("improvement (x)")
+    assert improvement.y[-1] > improvement.y[0]

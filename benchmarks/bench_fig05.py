@@ -1,0 +1,17 @@
+"""Benchmark: Figure 5 — collision-rate validation on real-like data."""
+
+from conftest import run_once
+
+from repro.experiments.fig05_collision_validation import run
+
+
+def bench_fig05(benchmark, full_scale):
+    result = run_once(benchmark, run, full_scale=full_scale)
+    print()
+    print(result.render())
+    precise = dict(zip(result.series_by_name("precise model").x,
+                       result.series_by_name("precise model").y))
+    for s in result.series:
+        if s.name.startswith("measured"):
+            for x, y in zip(s.x, s.y):
+                assert abs(y - precise[x]) <= 0.3 * max(precise[x], 0.05)

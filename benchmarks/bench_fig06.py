@@ -1,0 +1,14 @@
+"""Benchmark: Figure 6 — per-k collision probability (truncation)."""
+
+from conftest import run_once
+
+from repro.experiments.fig06_collision_components import run
+
+
+def bench_fig06(benchmark):
+    result = run_once(benchmark, run)
+    print()
+    print(result.render())
+    ys = list(result.series[0].y)
+    assert max(ys) == max(ys[:6])  # bell peaks at small k
+    assert ys[-1] < 0.005  # negligible past the truncation point

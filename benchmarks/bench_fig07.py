@@ -1,0 +1,16 @@
+"""Benchmark: Figure 7 — the x(g/b) curve and its piecewise regression."""
+
+from conftest import run_once
+
+from repro.experiments.fig07_collision_curve import run
+
+
+def bench_fig07(benchmark):
+    result = run_once(benchmark, run)
+    print()
+    print(result.render())
+    curve = result.series_by_name("collision rate")
+    fit = result.series_by_name("piecewise regression")
+    for a, b in zip(curve.y, fit.y):
+        if a > 1e-3:
+            assert abs(a - b) / a < 0.06  # paper's 5% target

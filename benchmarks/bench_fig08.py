@@ -1,0 +1,17 @@
+"""Benchmark: Figure 8 / Eq. 16 — linear fit of the low-collision region."""
+
+import re
+
+from conftest import run_once
+
+from repro.experiments.fig08_linear_fit import run
+
+
+def bench_fig08(benchmark):
+    result = run_once(benchmark, run)
+    print()
+    print(result.render())
+    alpha, mu = map(float,
+                    re.findall(r"= ([-\d.]+) \+ ([\d.]+)", result.notes[0])[0])
+    assert abs(mu - 0.354) < 0.02  # the paper's slope, re-derived
+    assert abs(alpha - 0.0267) < 0.01

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 9 — space allocation heuristics vs ES (two panels)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.fig09_fig10_space_allocation import (
+    run_fig9a,
+    run_fig9b,
+)
+
+
+def _check(result):
+    print()
+    print(result.render())
+    means = {s.name: float(np.mean(s.y)) for s in result.series}
+    assert means["SL"] <= means["PL"] + 1e-9
+    assert means["SL"] <= means["PR"] + 1e-9
+
+
+def bench_fig09a(benchmark, full_scale):
+    _check(run_once(benchmark, run_fig9a, full_scale=full_scale))
+
+
+def bench_fig09b(benchmark, full_scale):
+    _check(run_once(benchmark, run_fig9b, full_scale=full_scale))

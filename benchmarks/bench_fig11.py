@@ -1,0 +1,15 @@
+"""Benchmark: Figure 11 — GS's phi-knee vs the flat GCSL/GCPL lines."""
+
+from conftest import run_once
+
+from repro.experiments.fig11_fig12_phantom_choice import run_fig11
+
+
+def bench_fig11(benchmark, full_scale):
+    result = run_once(benchmark, run_fig11, full_scale=full_scale)
+    print()
+    print(result.render())
+    gs = result.series_by_name("GS")
+    gcsl = result.series_by_name("GCSL")
+    assert gcsl.y[0] <= min(gs.y) * 1.05  # GCSL at/below the GS curve
+    assert gs.y[0] > min(gs.y) and gs.y[-1] > min(gs.y)  # the knee

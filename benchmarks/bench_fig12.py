@@ -1,0 +1,14 @@
+"""Benchmark: Figure 12 — cost trajectory during phantom choice."""
+
+from conftest import run_once
+
+from repro.experiments.fig11_fig12_phantom_choice import run_fig12
+
+
+def bench_fig12(benchmark, full_scale):
+    result = run_once(benchmark, run_fig12, full_scale=full_scale)
+    print()
+    print(result.render())
+    gcsl = result.series_by_name("GCSL")
+    drops = [a - b for a, b in zip(gcsl.y, gcsl.y[1:])]
+    assert drops and drops[0] == max(drops)  # first phantom biggest gain

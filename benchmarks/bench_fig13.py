@@ -1,0 +1,16 @@
+"""Benchmark: Figure 13 — measured costs on the uniform synthetic stream."""
+
+from conftest import run_once
+
+from repro.experiments.fig13_fig14_measured import run_fig13
+
+
+def bench_fig13(benchmark, full_scale):
+    result = run_once(benchmark, run_fig13, full_scale=full_scale)
+    print()
+    print(result.render())
+    gcsl = result.series_by_name("GCSL")
+    none = result.series_by_name("no phantom")
+    assert all(n > g for n, g in zip(none.y, gcsl.y))
+    assert max(n / g for n, g in zip(none.y, gcsl.y)) > 2.0
+    assert all(y <= 3.0 for y in gcsl.y)  # paper: within 3x of optimal

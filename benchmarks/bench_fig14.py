@@ -1,0 +1,14 @@
+"""Benchmark: Figure 14 — measured costs on the clustered real-like trace."""
+
+from conftest import run_once
+
+from repro.experiments.fig13_fig14_measured import run_fig14
+
+
+def bench_fig14(benchmark, full_scale):
+    result = run_once(benchmark, run_fig14, full_scale=full_scale)
+    print()
+    print(result.render())
+    gcsl = result.series_by_name("GCSL")
+    none = result.series_by_name("no phantom")
+    assert all(n > g for n, g in zip(none.y, gcsl.y))

@@ -1,0 +1,17 @@
+"""Benchmark: Figure 15 — shrink vs shift under a peak-load bound."""
+
+from conftest import run_once
+
+from repro.experiments.fig15_peak_load import run
+
+
+def bench_fig15(benchmark, full_scale):
+    result = run_once(benchmark, run, full_scale=full_scale)
+    print()
+    print(result.render())
+    shrink = dict(zip(result.series_by_name("shrink").x,
+                      result.series_by_name("shrink").y))
+    shift = dict(zip(result.series_by_name("shift").x,
+                     result.series_by_name("shift").y))
+    top = max(shrink)
+    assert shift[top] is not None and shift[top] <= shrink[top]

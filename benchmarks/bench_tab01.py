@@ -1,0 +1,13 @@
+"""Benchmark: Table 1 — collision-rate invariance in b at fixed g/b."""
+
+from conftest import run_once
+
+from repro.experiments.tab01_collision_variation import run
+
+
+def bench_tab01(benchmark):
+    result = run_once(benchmark, run)
+    print()
+    print(result.render())
+    ours = result.series_by_name("variation (%)")
+    assert max(ours.y) < 3.0  # paper: all below 1.5%

@@ -1,0 +1,14 @@
+"""Benchmark: Table 2 — average heuristic error over all configurations."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.tab02_tab03_heuristic_stats import run_tab2
+
+
+def bench_tab02(benchmark, full_scale):
+    result = run_once(benchmark, run_tab2, full_scale=full_scale)
+    print()
+    print(result.render())
+    means = {s.name: float(np.mean(s.y)) for s in result.series}
+    assert means["SL (%)"] == min(means.values())  # paper: SL best at all M

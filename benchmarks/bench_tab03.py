@@ -1,0 +1,17 @@
+"""Benchmark: Table 3 — how often SL is the best heuristic."""
+
+from conftest import run_once
+
+from repro.experiments.tab02_tab03_heuristic_stats import run_tab3
+
+
+def bench_tab03(benchmark, full_scale):
+    result = run_once(benchmark, run_tab3, full_scale=full_scale)
+    print()
+    print(result.render())
+    share = result.series_by_name("SL being best (%)")
+    assert min(share.y) >= 30.0  # paper: 44-100%
+    # When SL is not the best heuristic it stays competitive, and more so
+    # at larger M (paper: gap 2.2% -> 0).
+    gap = result.series_by_name("gap from best when not (%)")
+    assert gap.y[-1] <= max(gap.y[0], 2.5)

@@ -1,0 +1,31 @@
+"""Benchmark: planning time — the paper's adaptivity claim.
+
+Unlike the experiment-replay benches, this one times the planner call
+itself under pytest-benchmark's repeated sampling.
+"""
+
+from repro.core.optimizer import plan
+from repro.core.queries import QuerySet
+from repro.core.statistics import RelationStatistics
+from repro.experiments.common import paper_params
+from repro.experiments.timing import PAPER_LIKE_GROUPS
+
+
+def bench_timing_gcsl(benchmark):
+    stats = RelationStatistics.from_counts(PAPER_LIKE_GROUPS)
+    queries = QuerySet.counts(["A", "B", "C", "D"])
+    params = paper_params()
+    result = benchmark(plan, queries, stats, 40_000, params,
+                       algorithm="gcsl")
+    assert result.configuration.phantoms
+    # Planning stays in the milliseconds regime (paper: sub-ms in C).
+    assert result.planning_seconds < 0.25
+
+
+def bench_timing_gs(benchmark):
+    stats = RelationStatistics.from_counts(PAPER_LIKE_GROUPS)
+    queries = QuerySet.counts(["A", "B", "C", "D"])
+    params = paper_params()
+    result = benchmark(plan, queries, stats, 40_000, params,
+                       algorithm="gs", phi=1.0)
+    assert result.planning_seconds < 0.25

@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper
+(DESIGN.md's per-experiment index) under ``pytest-benchmark`` timing, then
+prints the rendered rows/series (visible with ``pytest -s``) and asserts
+the paper's qualitative shape.
+
+Set ``REPRO_FULL_SCALE=1`` to run the workload-driven benchmarks at the
+paper's dataset sizes (1M synthetic / 860k trace records) instead of the
+reduced 200k default.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0")
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

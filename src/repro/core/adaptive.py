@@ -1,0 +1,119 @@
+"""Adaptive re-planning driven by streaming statistics.
+
+The paper's closing argument: because GCSL plans in milliseconds, the LFTA
+configuration can track the stream — re-plan whenever the observed group
+structure drifts. :class:`AdaptiveController` implements that loop:
+
+1. per epoch, feed the epoch's records into a
+   :class:`~repro.core.sketches.StreamStatisticsCollector` (KMV sketches,
+   so the cost is small and bounded);
+2. compare the sketch snapshot against the statistics the current plan was
+   built on; if any relation's group count moved by more than
+   ``drift_threshold`` (relative), re-plan;
+3. hand the new plan to the runtime, which applies it at the next epoch
+   boundary (where tables are empty, so the swap is free).
+
+Attach a controller to :class:`~repro.gigascope.online.LiveStreamSystem`
+via its ``controller=`` argument; the runtime calls
+:meth:`epoch_completed` after each epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cost_model import CostParameters
+from repro.core.feeding_graph import FeedingGraph
+from repro.core.optimizer import Plan, plan
+from repro.core.queries import QuerySet
+from repro.core.sketches import StreamStatisticsCollector
+from repro.core.statistics import RelationStatistics
+
+__all__ = ["AdaptiveController"]
+
+
+@dataclass
+class AdaptiveController:
+    """Watches the stream and re-plans when statistics drift.
+
+    Parameters
+    ----------
+    queries / memory / params:
+        Planning inputs (same as :func:`repro.core.optimizer.plan`).
+    drift_threshold:
+        Relative change in any relation's estimated group count that
+        triggers a re-plan (0.5 = a 50% move). KMV noise is ~1/sqrt(k), so
+        keep the threshold a few times above it.
+    warmup_epochs:
+        Epochs to observe before the first sketch-based re-plan.
+    cooldown_epochs:
+        Minimum epochs between re-plans (the paper's "frequency of
+        execution" question).
+    algorithm:
+        Planning algorithm (``"gcsl"`` by default).
+    """
+
+    queries: QuerySet
+    memory: float
+    params: CostParameters = field(default_factory=CostParameters)
+    drift_threshold: float = 0.5
+    warmup_epochs: int = 1
+    cooldown_epochs: int = 1
+    algorithm: str = "gcsl"
+    sketch_k: int = 256
+    track_flows: bool = False
+
+    def __post_init__(self) -> None:
+        graph = FeedingGraph(self.queries)
+        self.collector = StreamStatisticsCollector(
+            graph.nodes, k=self.sketch_k, track_flows=self.track_flows)
+        self._planned_on: RelationStatistics | None = None
+        self._epochs_seen = 0
+        self._epochs_since_replan = 0
+        self.replan_count = 0
+        self.planning_seconds_total = 0.0
+
+    # ------------------------------------------------------------------
+    def initial_plan(self) -> Plan:
+        """A plan from the current sketch state (call after priming, or
+        rely on the runtime's externally supplied first plan)."""
+        stats = self.collector.statistics()
+        self._planned_on = stats
+        return self._plan(stats)
+
+    def epoch_completed(self, system, dataset) -> Plan | None:
+        """Runtime callback: absorb one epoch; maybe return a new plan."""
+        self.collector.observe(dataset.columns)
+        self._epochs_seen += 1
+        self._epochs_since_replan += 1
+        if self._epochs_seen < self.warmup_epochs:
+            return None
+        if self._epochs_since_replan < self.cooldown_epochs:
+            return None
+        stats = self.collector.statistics()
+        if not self._drifted(stats):
+            return None
+        new_plan = self._plan(stats)
+        self._planned_on = stats
+        self._epochs_since_replan = 0
+        self.replan_count += 1
+        return new_plan
+
+    # ------------------------------------------------------------------
+    def _plan(self, stats: RelationStatistics) -> Plan:
+        new_plan = plan(self.queries, stats, self.memory, self.params,
+                        algorithm=self.algorithm,
+                        clustered=self.track_flows)
+        self.planning_seconds_total += new_plan.planning_seconds
+        return new_plan
+
+    def _drifted(self, stats: RelationStatistics) -> bool:
+        if self._planned_on is None:
+            return True
+        for rel, new_g in stats.groups.items():
+            old_g = self._planned_on.groups.get(rel)
+            if old_g is None:
+                return True
+            if abs(new_g - old_g) / max(old_g, 1.0) > self.drift_threshold:
+                return True
+        return False

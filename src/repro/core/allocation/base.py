@@ -1,0 +1,161 @@
+"""Shared machinery for space allocators.
+
+An allocator splits the LFTA memory budget ``M`` (in allocation units; 4
+bytes each in the paper) among the hash tables of a configuration's
+relations. Allocations are expressed as *bucket counts* per relation; the
+space consumed by relation ``R`` is ``buckets_R * h_R`` where ``h_R`` is its
+entry size in units (Section 5.3's variable-sized buckets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Protocol, runtime_checkable
+
+from repro.core.attributes import AttributeSet
+from repro.core.configuration import Configuration
+from repro.core.cost_model import CostParameters
+from repro.core.statistics import RelationStatistics
+from repro.errors import AllocationError
+
+__all__ = [
+    "Allocation",
+    "SpaceAllocator",
+    "demand_score",
+    "spaces_to_allocation",
+    "minimum_space",
+]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Bucket counts per relation (fractional for model reasoning)."""
+
+    buckets: Mapping[AttributeSet, float]
+
+    def space_used(self, stats: RelationStatistics) -> float:
+        """Total units consumed: ``sum_R buckets_R * h_R``."""
+        return sum(b * stats.entry_units(rel)
+                   for rel, b in self.buckets.items())
+
+    def scaled(self, factor: float) -> "Allocation":
+        """Every bucket count multiplied by ``factor`` (floored at 1)."""
+        return Allocation({rel: max(1.0, b * factor)
+                           for rel, b in self.buckets.items()})
+
+    def rounded(self, stats: RelationStatistics,
+                memory: float | None = None) -> "Allocation":
+        """Integer bucket counts (>= 1), fitting ``memory`` if given.
+
+        Rounds down, then — if a budget is supplied — greedily returns any
+        leftover units to the relations with the largest fractional loss.
+        """
+        floored = {rel: max(1, int(b)) for rel, b in self.buckets.items()}
+        if memory is not None:
+            used = sum(b * stats.entry_units(rel)
+                       for rel, b in floored.items())
+            if used > memory:
+                raise AllocationError(
+                    f"memory {memory} too small for integer allocation "
+                    f"(needs {used} units)")
+            # Hand back leftover units, biggest fractional remainder first.
+            remainders = sorted(
+                self.buckets,
+                key=lambda rel: self.buckets[rel] - floored[rel],
+                reverse=True)
+            leftover = memory - used
+            for rel in remainders:
+                h = stats.entry_units(rel)
+                extra = int(leftover // h)
+                want = int(round(self.buckets[rel])) - floored[rel]
+                grant = min(extra, max(want, 0))
+                if grant > 0:
+                    floored[rel] += grant
+                    leftover -= grant * h
+        return Allocation(floored)
+
+    def __getitem__(self, rel: AttributeSet) -> float:
+        return self.buckets[rel]
+
+    def __iter__(self):
+        return iter(self.buckets)
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+
+@runtime_checkable
+class SpaceAllocator(Protocol):
+    """Splits memory among a configuration's hash tables."""
+
+    #: Short name used in experiment reports ("SL", "PL", "ES", ...).
+    name: str
+
+    def allocate(self, config: Configuration, stats: RelationStatistics,
+                 memory: float, params: CostParameters) -> Allocation:
+        """Return an allocation using at most ``memory`` units."""
+        ...
+
+
+def demand_score(config: Configuration, stats: RelationStatistics,
+                 rel: AttributeSet) -> float:
+    """The score ``v_R = g_R h_R / l_R`` driving sqrt-proportional rules.
+
+    Flow lengths only damp collision rates for relations fed directly by the
+    (clustered) stream; fed relations see eviction streams, so their score
+    uses ``l = 1``.
+    """
+    v = stats.group_count(rel) * stats.entry_units(rel)
+    if config.is_raw(rel):
+        v /= stats.flow_length(rel)
+    return v
+
+
+def minimum_space(config: Configuration, stats: RelationStatistics) -> float:
+    """Units needed to give every relation one bucket."""
+    return float(sum(stats.entry_units(rel) for rel in config.relations))
+
+
+def spaces_to_allocation(config: Configuration, stats: RelationStatistics,
+                         spaces: Mapping[AttributeSet, float],
+                         memory: float) -> Allocation:
+    """Convert per-relation *space* shares into bucket counts.
+
+    Enforces a one-bucket minimum per relation: relations whose share is
+    below one bucket are raised to one bucket and the deficit is taken
+    proportionally from the rest. Raises :class:`AllocationError` if the
+    budget cannot give every relation a bucket.
+    """
+    min_needed = minimum_space(config, stats)
+    if memory < min_needed:
+        raise AllocationError(
+            f"memory {memory} units cannot hold one bucket per relation "
+            f"({min_needed} units needed)")
+    spaces = {rel: max(float(spaces[rel]), 0.0) for rel in config.relations}
+    # Iteratively pin relations at their one-bucket floor and rescale the rest.
+    pinned: dict[AttributeSet, float] = {}
+    free = dict(spaces)
+    budget = float(memory)
+    while True:
+        total = sum(free.values())
+        if total <= 0:
+            # Degenerate shares: split the remaining budget evenly.
+            share = budget / len(free) if free else 0.0
+            free = {rel: share for rel in free}
+            total = budget
+        scale = budget / total if total > 0 else 0.0
+        below = [rel for rel in free
+                 if free[rel] * scale < stats.entry_units(rel)]
+        if not below:
+            for rel in free:
+                pinned[rel] = free[rel] * scale
+            break
+        for rel in below:
+            pinned[rel] = float(stats.entry_units(rel))
+            budget -= pinned[rel]
+            del free[rel]
+        if not free:
+            break
+    buckets = {rel: pinned[rel] / stats.entry_units(rel)
+               for rel in config.relations}
+    return Allocation(buckets)

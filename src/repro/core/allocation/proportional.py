@@ -1,0 +1,52 @@
+"""The proportional baseline heuristics PL and PR (paper Section 5.2).
+
+These two are the "not based on our analysis" comparison points:
+
+* **PL (Linear Proportional)** — space proportional to the number of groups.
+* **PR (Square Root Proportional)** — space proportional to the square root
+  of the number of groups.
+
+Note that unlike SL/SR these ignore the feed structure entirely; the paper
+shows they can err by up to ~35% against the exhaustive optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.allocation.base import Allocation, spaces_to_allocation
+from repro.core.configuration import Configuration
+from repro.core.cost_model import CostParameters
+from repro.core.statistics import RelationStatistics
+
+__all__ = ["ProportionalLinear", "ProportionalSqrt"]
+
+
+@dataclass(frozen=True)
+class ProportionalLinear:
+    """Heuristic PL: space share proportional to ``g_R``."""
+
+    name: str = "PL"
+
+    def allocate(self, config: Configuration, stats: RelationStatistics,
+                 memory: float, params: CostParameters) -> Allocation:
+        weights = {rel: stats.group_count(rel) for rel in config.relations}
+        total = sum(weights.values())
+        spaces = {rel: memory * w / total for rel, w in weights.items()}
+        return spaces_to_allocation(config, stats, spaces, memory)
+
+
+@dataclass(frozen=True)
+class ProportionalSqrt:
+    """Heuristic PR: space share proportional to ``sqrt(g_R)``."""
+
+    name: str = "PR"
+
+    def allocate(self, config: Configuration, stats: RelationStatistics,
+                 memory: float, params: CostParameters) -> Allocation:
+        weights = {rel: math.sqrt(stats.group_count(rel))
+                   for rel in config.relations}
+        total = sum(weights.values())
+        spaces = {rel: memory * w / total for rel, w in weights.items()}
+        return spaces_to_allocation(config, stats, spaces, memory)

@@ -1,0 +1,98 @@
+"""The supernode heuristics SL and SR (paper Section 5.2).
+
+Multi-level configurations are analytically unsolvable (the stationarity
+conditions yield polynomial equations of order > 4), so the paper collapses
+each phantom-with-children into a *supernode*, allocates as if the forest
+were flat, and then recursively decomposes each supernode with the solvable
+two-level closed form:
+
+* **SL (Supernode with Linear combination)** — a supernode's demand score is
+  the *sum* of the phantom's score and its children's combined scores.
+* **SR (Supernode with Square Root combination)** — the *square root* of a
+  supernode's score is the sum of the square roots of its members' scores.
+
+Both reduce exactly to the optimal allocation for a single phantom feeding
+all queries. SL is the paper's winner and the allocator used by GCSL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attributes import AttributeSet
+from repro.core.allocation.analytic import flat_spaces, two_level_split
+from repro.core.allocation.base import (
+    Allocation,
+    demand_score,
+    spaces_to_allocation,
+)
+from repro.core.collision.lookup import PAPER_MU
+from repro.core.configuration import Configuration
+from repro.core.cost_model import CostParameters
+from repro.core.statistics import RelationStatistics
+
+__all__ = ["SupernodeLinear", "SupernodeSqrt"]
+
+
+@dataclass(frozen=True)
+class _SupernodeAllocator:
+    """Common SL/SR machinery; subclasses choose the combination rule."""
+
+    mu: float = PAPER_MU
+    name: str = "supernode"
+
+    def _combine(self, own: float, child_scores: list[float]) -> float:
+        raise NotImplementedError
+
+    def allocate(self, config: Configuration, stats: RelationStatistics,
+                 memory: float, params: CostParameters) -> Allocation:
+        combined: dict[AttributeSet, float] = {}
+        # Children precede parents in reversed topological order.
+        for rel in reversed(config.relations):
+            own = demand_score(config, stats, rel)
+            kids = config.children(rel)
+            if not kids:
+                combined[rel] = own
+            else:
+                combined[rel] = self._combine(own,
+                                              [combined[k] for k in kids])
+
+        spaces: dict[AttributeSet, float] = {}
+        root_spaces = flat_spaces(
+            {root: combined[root] for root in config.raw_relations}, memory)
+
+        def decompose(rel: AttributeSet, space: float) -> None:
+            kids = config.children(rel)
+            if not kids:
+                spaces[rel] = space
+                return
+            own_space, kid_spaces = two_level_split(
+                [combined[k] for k in kids], space, params, self.mu)
+            spaces[rel] = own_space
+            for kid, kid_space in zip(kids, kid_spaces):
+                decompose(kid, kid_space)
+
+        for root in config.raw_relations:
+            decompose(root, root_spaces[root])
+        return spaces_to_allocation(config, stats, spaces, memory)
+
+
+@dataclass(frozen=True)
+class SupernodeLinear(_SupernodeAllocator):
+    """Heuristic SL: supernode score = sum of member scores."""
+
+    name: str = "SL"
+
+    def _combine(self, own: float, child_scores: list[float]) -> float:
+        return own + sum(child_scores)
+
+
+@dataclass(frozen=True)
+class SupernodeSqrt(_SupernodeAllocator):
+    """Heuristic SR: sqrt(supernode score) = sum of member sqrt scores."""
+
+    name: str = "SR"
+
+    def _combine(self, own: float, child_scores: list[float]) -> float:
+        root_sum = own ** 0.5 + sum(v ** 0.5 for v in child_scores)
+        return root_sum * root_sum

@@ -1,0 +1,22 @@
+"""Phantom-choosing algorithms (paper Sections 3.4 and 6.3).
+
+* :class:`GreedySpace` (GS) — greedy by increasing space, ``phi``-tuned;
+* :class:`GreedyCollision` (GC) — greedy by increasing collision rates,
+  parameterized by allocator (:func:`gcsl` / :func:`gcpl` shortcuts);
+* :class:`ExhaustiveChoice` (EPES) — the exponential optimal reference.
+"""
+
+from repro.core.choosing.base import ChoiceResult, ChoiceStep
+from repro.core.choosing.greedy_space import GreedySpace
+from repro.core.choosing.greedy_collision import GreedyCollision, gcsl, gcpl
+from repro.core.choosing.exhaustive import ExhaustiveChoice
+
+__all__ = [
+    "ChoiceResult",
+    "ChoiceStep",
+    "GreedySpace",
+    "GreedyCollision",
+    "gcsl",
+    "gcpl",
+    "ExhaustiveChoice",
+]

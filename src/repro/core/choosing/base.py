@@ -1,0 +1,40 @@
+"""Shared types for phantom-choosing algorithms (paper Section 3.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.attributes import AttributeSet
+from repro.core.allocation.base import Allocation
+from repro.core.configuration import Configuration
+
+__all__ = ["ChoiceStep", "ChoiceResult"]
+
+
+@dataclass(frozen=True)
+class ChoiceStep:
+    """One step of a greedy phantom-choosing run (for Figure 12)."""
+
+    phantom: AttributeSet | None
+    configuration: Configuration
+    cost: float
+
+
+@dataclass(frozen=True)
+class ChoiceResult:
+    """Outcome of a phantom-choosing algorithm.
+
+    ``trajectory`` records the configuration and predicted per-record cost
+    after each phantom is added, starting from the all-queries
+    configuration (``phantom=None``).
+    """
+
+    configuration: Configuration
+    allocation: Allocation
+    cost: float
+    trajectory: tuple[ChoiceStep, ...] = field(default_factory=tuple)
+
+    @property
+    def phantoms_chosen(self) -> list[AttributeSet]:
+        return [step.phantom for step in self.trajectory
+                if step.phantom is not None]

@@ -1,0 +1,52 @@
+"""Collision-rate models for LFTA hash tables (paper Section 4).
+
+The collision rate ``x`` of a direct-mapped hash table is the fraction of
+arriving records that evict the resident entry. The paper derives:
+
+* a *rough* model ``x = 1 - b/g`` based on expected bucket occupancy
+  (Eq. 10);
+* a *precise* model based on the binomial occupancy distribution (Eq. 13),
+  evaluated here both as the paper's truncated sum (Section 4.4) and in an
+  exact closed form;
+* a *clustered* variant for flow-structured data, dividing by the mean flow
+  length (Eq. 15);
+* fast evaluation via a precomputed ``g/b`` lookup table and a linear fit of
+  the low-collision region, ``x = 0.0267 + 0.354 (g/b)`` (Eq. 16).
+"""
+
+from repro.core.collision.base import CollisionModel, clamp_rate
+from repro.core.collision.rough import RoughModel, rough_rate
+from repro.core.collision.precise import (
+    PreciseModel,
+    TruncatedPreciseModel,
+    collision_component,
+    precise_rate,
+    truncated_rate,
+)
+from repro.core.collision.clustered import ClusteredModel, clustered_rate
+from repro.core.collision.lookup import (
+    LinearModel,
+    LookupModel,
+    PiecewiseFit,
+    fit_linear_low_region,
+    fit_piecewise,
+)
+
+__all__ = [
+    "CollisionModel",
+    "clamp_rate",
+    "RoughModel",
+    "rough_rate",
+    "PreciseModel",
+    "TruncatedPreciseModel",
+    "collision_component",
+    "precise_rate",
+    "truncated_rate",
+    "ClusteredModel",
+    "clustered_rate",
+    "LinearModel",
+    "LookupModel",
+    "PiecewiseFit",
+    "fit_linear_low_region",
+    "fit_piecewise",
+]

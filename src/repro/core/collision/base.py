@@ -1,0 +1,31 @@
+"""Common interface for collision-rate models."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["CollisionModel", "clamp_rate"]
+
+
+def clamp_rate(x: float) -> float:
+    """Clamp a model output to the valid collision-rate range [0, 1]."""
+    if x < 0.0:
+        return 0.0
+    if x > 1.0:
+        return 1.0
+    return x
+
+
+@runtime_checkable
+class CollisionModel(Protocol):
+    """Estimates the collision rate of a direct-mapped hash table.
+
+    Implementations are pure functions of the number of groups ``g`` hashed
+    into the table and the number of buckets ``b``; both may be fractional
+    (the optimizer reasons about fractional bucket counts). Returned rates
+    are always in ``[0, 1]``.
+    """
+
+    def rate(self, groups: float, buckets: float) -> float:
+        """Collision rate for ``groups`` groups over ``buckets`` buckets."""
+        ...

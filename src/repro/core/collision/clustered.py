@@ -1,0 +1,51 @@
+"""Clustered-data collision rates (paper Section 4.3, Eq. 15).
+
+Network packet streams are *clustered*: all packets of a flow share the same
+grouping attribute values and arrive (nearly) contiguously, so a flow passes
+through a bucket essentially collision-free. Treating each flow as a single
+record reduces the analysis to the random case; dividing the resulting rate
+by the average flow length ``l_a`` converts "collisions per flow" into
+"collisions per record":
+
+    x_clustered = x_random(g, b) / l_a      (Eq. 15)
+
+Random data is the special case ``l_a = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.collision.base import CollisionModel, clamp_rate
+from repro.core.collision.precise import PreciseModel
+
+__all__ = ["clustered_rate", "ClusteredModel"]
+
+
+def clustered_rate(model: CollisionModel, groups: float, buckets: float,
+                   flow_length: float) -> float:
+    """Eq. 15: the per-record rate of a base model divided by flow length."""
+    if flow_length < 1.0:
+        raise ValueError(f"flow_length must be >= 1, got {flow_length}")
+    return clamp_rate(model.rate(groups, buckets) / flow_length)
+
+
+@dataclass(frozen=True)
+class ClusteredModel:
+    """A collision model specialized to a fixed average flow length.
+
+    Wraps a base (random-data) model; the per-relation flow lengths used by
+    the cost model live in :class:`repro.core.statistics.RelationStatistics`,
+    so this wrapper is mainly useful for standalone analysis and tests.
+    """
+
+    flow_length: float
+    base: CollisionModel = PreciseModel()
+
+    def __post_init__(self) -> None:
+        if self.flow_length < 1.0:
+            raise ValueError(
+                f"flow_length must be >= 1, got {self.flow_length}")
+
+    def rate(self, groups: float, buckets: float) -> float:
+        return clustered_rate(self.base, groups, buckets, self.flow_length)

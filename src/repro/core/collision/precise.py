@@ -1,0 +1,120 @@
+"""The precise collision-rate model (paper Eq. 13 and Section 4.4).
+
+For ``g`` groups hashed uniformly into ``b`` buckets, the number of groups
+``K`` landing in a given bucket is Binomial(g, 1/b). A bucket holding ``k``
+groups sees a per-record collision probability of ``1 - 1/k`` (uniform
+records), contributing ``(b/g) * (k - 1) * P(K = k)`` to the overall rate:
+
+    x = (b/g) * sum_{k>=2} C(g, k) (1/b)^k (1 - 1/b)^(g-k) (k - 1)   (Eq. 13)
+
+Because ``sum_{k>=2} (k-1) P(K=k) = E[K] - 1 + P(K=0)`` and ``E[K] = g/b``,
+the sum has the exact closed form
+
+    x = 1 - (b/g) * (1 - (1 - 1/b)^g)
+
+which this module uses by default (:func:`precise_rate`). The paper instead
+truncates the sum at ``mu + s*sigma`` using a Gaussian view of the binomial
+(Section 4.4, Figure 6); :func:`truncated_rate` implements that evaluation so
+the truncation argument itself can be validated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.core.collision.base import clamp_rate
+
+__all__ = [
+    "precise_rate",
+    "truncated_rate",
+    "collision_component",
+    "PreciseModel",
+    "TruncatedPreciseModel",
+]
+
+
+def precise_rate(groups: float, buckets: float) -> float:
+    """Eq. 13 in exact closed form: ``x = 1 - (b/g)(1 - (1 - 1/b)^g)``.
+
+    Accepts fractional ``groups``/``buckets`` (the optimizer reasons about
+    fractional bucket counts); both are treated as positive reals.
+    """
+    if groups <= 1.0 or buckets <= 0:
+        return 0.0
+    if buckets == 1.0:
+        return clamp_rate(1.0 - 1.0 / groups)
+    # (1 - 1/b)^g computed in log space for numerical stability.
+    p_empty = math.exp(groups * math.log1p(-1.0 / buckets))
+    return clamp_rate(1.0 - (buckets / groups) * (1.0 - p_empty))
+
+
+def collision_component(k: np.ndarray | int, groups: int, buckets: int
+                        ) -> np.ndarray | float:
+    """The per-``k`` term of Eq. 13 (plotted in the paper's Figure 6).
+
+    ``component(k) = (b/g) * (k - 1) * BinomialPMF(k; g, 1/b)`` for k >= 2,
+    and 0 for k < 2.
+    """
+    k_arr = np.asarray(k, dtype=float)
+    pmf = stats.binom.pmf(k_arr, groups, 1.0 / buckets)
+    comp = (buckets / groups) * (k_arr - 1.0) * pmf
+    comp = np.where(k_arr >= 2, comp, 0.0)
+    if np.isscalar(k):
+        return float(comp)
+    return comp
+
+
+def truncation_limit(groups: int, buckets: int, sigmas: float = 5.0) -> int:
+    """Section 4.4's summation cutoff ``mu + sigmas * sigma``.
+
+    ``mu = g/b`` and ``sigma = sqrt(g (1 - 1/b) / b)`` are the Gaussian
+    approximation of the binomial occupancy count. The paper suggests
+    summing to ``mu + 5 sigma`` to make the truncation error negligible.
+    """
+    if buckets <= 0 or groups <= 0:
+        return 2
+    mu = groups / buckets
+    sigma = math.sqrt(max(groups * (1.0 - 1.0 / buckets) / buckets, 0.0))
+    return max(2, int(math.ceil(mu + sigmas * sigma)))
+
+
+def truncated_rate(groups: int, buckets: int, sigmas: float = 5.0) -> float:
+    """Eq. 13 evaluated as the paper's truncated sum (Section 4.4)."""
+    g = int(round(groups))
+    b = int(round(buckets))
+    if g <= 1 or b <= 0:
+        return 0.0
+    k_max = min(g, truncation_limit(g, b, sigmas))
+    ks = np.arange(2, k_max + 1)
+    if ks.size == 0:
+        return 0.0
+    comp = collision_component(ks, g, b)
+    return clamp_rate(float(np.sum(comp)))
+
+
+@dataclass(frozen=True)
+class PreciseModel:
+    """Collision model using the exact closed form of Eq. 13."""
+
+    def rate(self, groups: float, buckets: float) -> float:
+        return precise_rate(groups, buckets)
+
+
+@dataclass(frozen=True)
+class TruncatedPreciseModel:
+    """Collision model using the paper's truncated-sum evaluation.
+
+    ``sigmas`` is the number of Gaussian standard deviations to sum past the
+    mean (the paper uses 5). Provided mainly to validate the truncation
+    argument; :class:`PreciseModel` is faster and exact.
+    """
+
+    sigmas: float = 5.0
+
+    def rate(self, groups: float, buckets: float) -> float:
+        return truncated_rate(int(round(groups)), int(round(buckets)),
+                              self.sigmas)

@@ -1,0 +1,30 @@
+"""The rough collision-rate model (paper Eq. 10).
+
+Assuming every bucket holds exactly its expected number of groups ``g/b``,
+the collision rate is ``1 - b/g`` (and 0 when ``g <= b``). The paper shows
+this underestimates badly for small ``g/b`` but converges to the precise
+model as ``g/b`` grows (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.collision.base import clamp_rate
+
+__all__ = ["RoughModel", "rough_rate"]
+
+
+def rough_rate(groups: float, buckets: float) -> float:
+    """Eq. 10: ``x = 1 - b/g``, clamped to [0, 1]."""
+    if groups <= 0 or buckets <= 0:
+        return 0.0
+    return clamp_rate(1.0 - buckets / groups)
+
+
+@dataclass(frozen=True)
+class RoughModel:
+    """Collision model wrapper around :func:`rough_rate`."""
+
+    def rate(self, groups: float, buckets: float) -> float:
+        return rough_rate(groups, buckets)

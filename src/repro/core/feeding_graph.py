@@ -1,0 +1,115 @@
+"""The relation feeding graph (paper Section 2.6, Figure 4).
+
+Nodes are *relations*: the user queries plus every candidate *phantom*. A
+phantom is a finer-granularity aggregate that is not requested by the user
+but can *feed* (supply partial aggregates to) coarser relations. Relation
+``R`` can feed relation ``S`` exactly when ``S``'s attributes are a strict
+subset of ``R``'s; the feed relationship short-circuits, i.e. a node may be
+fed directly by any of its ancestors.
+
+The paper observes that a phantom feeding fewer than two relations is never
+beneficial, and that all useful phantoms are obtained "by combining two or
+more queries". Accordingly, the candidate phantom set here is every distinct
+union of two or more query grouping sets that is not itself a query.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from repro.core.attributes import AttributeSet
+from repro.core.queries import QuerySet
+
+__all__ = ["FeedingGraph", "enumerate_phantoms"]
+
+
+def enumerate_phantoms(query_attrs: Iterable[AttributeSet]) -> list[AttributeSet]:
+    """All candidate phantoms for a set of query grouping sets.
+
+    A candidate is the union of at least two of the queries, excluding unions
+    that coincide with an existing query (those are already instantiated).
+    The result is deterministically ordered by (size, name).
+    """
+    queries = list(dict.fromkeys(query_attrs))
+    query_set = set(queries)
+    candidates: set[AttributeSet] = set()
+    frontier: set[AttributeSet] = set(queries)
+    # Closing the query set under pairwise union yields every union of two or
+    # more queries (union of k queries = union of pairwise unions).
+    while frontier:
+        new: set[AttributeSet] = set()
+        for a, b in combinations(sorted(frontier | candidates | query_set,
+                                        key=AttributeSet.sort_key), 2):
+            union = a | b
+            if union in query_set or union in candidates or union in frontier:
+                continue
+            new.add(union)
+        candidates |= frontier - query_set
+        frontier = new
+    candidates -= query_set
+    return sorted(candidates, key=AttributeSet.sort_key)
+
+
+class FeedingGraph:
+    """The DAG of queries and candidate phantoms, ordered by strict subset.
+
+    Parameters
+    ----------
+    queries:
+        The user queries (always instantiated at the LFTA).
+
+    Attributes
+    ----------
+    queries:
+        Grouping sets of the user queries.
+    phantoms:
+        Candidate phantom grouping sets (unions of >= 2 queries).
+    """
+
+    def __init__(self, queries: QuerySet):
+        self._query_set = queries
+        self.queries: list[AttributeSet] = list(queries.group_bys)
+        self.phantoms: list[AttributeSet] = enumerate_phantoms(self.queries)
+        self._nodes = sorted(set(self.queries) | set(self.phantoms),
+                             key=AttributeSet.sort_key)
+        node_set = set(self._nodes)
+        self._feeds: dict[AttributeSet, list[AttributeSet]] = {
+            node: [other for other in self._nodes if other < node]
+            for node in node_set
+        }
+
+    @property
+    def nodes(self) -> list[AttributeSet]:
+        """All relations (queries and phantoms), ordered by (size, name)."""
+        return list(self._nodes)
+
+    def is_query(self, attrs: AttributeSet) -> bool:
+        return attrs in set(self.queries)
+
+    def is_phantom(self, attrs: AttributeSet) -> bool:
+        return attrs in set(self.phantoms)
+
+    def feedable(self, attrs: AttributeSet) -> list[AttributeSet]:
+        """Relations that ``attrs`` can feed (its strict subsets in the graph)."""
+        return list(self._feeds[attrs])
+
+    def feeders(self, attrs: AttributeSet) -> list[AttributeSet]:
+        """Relations that can feed ``attrs`` (its strict supersets)."""
+        return [node for node in self._nodes if attrs < node]
+
+    def fed_queries(self, attrs: AttributeSet) -> list[AttributeSet]:
+        """The user queries a phantom can feed."""
+        queries = set(self.queries)
+        return [node for node in self._feeds[attrs] if node in queries]
+
+    def __contains__(self, attrs: object) -> bool:
+        return attrs in set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        q = ", ".join(str(a) for a in self.queries)
+        p = ", ".join(str(a) for a in self.phantoms)
+        return f"FeedingGraph(queries=[{q}], phantoms=[{p}])"

@@ -1,0 +1,122 @@
+"""Empirical companions to the paper's hardness result (Theorem 1).
+
+The paper proves that, unless P = NP, no polynomial-time algorithm
+approximates the MA optimization problem within ``n^(1-eps)`` — which is
+why it settles for cost-greedy heuristics and evaluates them empirically.
+A library cannot "implement" the theorem, but it can make its practical
+content checkable:
+
+* :func:`optimality_gap` — the exact ratio between a heuristic's cost and
+  the exhaustive optimum on a concrete instance;
+* :func:`search_adversarial_instance` — randomized search for instances
+  where the greedy's gap is large, demonstrating that GCSL is *not*
+  optimal in general (the theorem's practical message), while
+  :mod:`repro.experiments` shows it is consistently near-optimal on
+  realistic statistics;
+* :func:`greedy_is_optimal_on` — a convenience predicate used in tests.
+
+The instances produced here are ordinary (queries, statistics, memory)
+triples, so every tool in the library applies to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.choosing.exhaustive import ExhaustiveChoice
+from repro.core.choosing.greedy_collision import GreedyCollision
+from repro.core.cost_model import CostParameters
+from repro.core.feeding_graph import FeedingGraph
+from repro.core.queries import QuerySet
+from repro.core.statistics import RelationStatistics
+
+__all__ = [
+    "AdversarialInstance",
+    "optimality_gap",
+    "search_adversarial_instance",
+    "greedy_is_optimal_on",
+]
+
+
+@dataclass(frozen=True)
+class AdversarialInstance:
+    """A concrete MA instance with its measured greedy gap."""
+
+    queries: QuerySet
+    stats: RelationStatistics
+    memory: float
+    greedy_cost: float
+    optimal_cost: float
+
+    @property
+    def gap(self) -> float:
+        """``greedy_cost / optimal_cost`` (1.0 = greedy was optimal)."""
+        return self.greedy_cost / self.optimal_cost
+
+
+def optimality_gap(queries: QuerySet, stats: RelationStatistics,
+                   memory: float, params: CostParameters | None = None,
+                   chooser: GreedyCollision | None = None) -> float:
+    """Ratio of the greedy's predicted cost to the exhaustive optimum."""
+    params = params or CostParameters()
+    chooser = chooser or GreedyCollision()
+    greedy = chooser.choose(queries, stats, memory, params)
+    optimal = ExhaustiveChoice(model=chooser.model,
+                               clustered=chooser.clustered).choose(
+        queries, stats, memory, params)
+    return greedy.cost / optimal.cost
+
+
+def _random_stats(rng: np.random.Generator,
+                  queries: QuerySet) -> RelationStatistics:
+    """Random per-relation group counts respecting monotonicity.
+
+    Group counts must be monotone under projection (a superset of
+    attributes can only have at least as many groups); we draw a base
+    count per query and inflate unions by random factors.
+    """
+    graph = FeedingGraph(queries)
+    groups: dict = {}
+    for rel in graph.nodes:
+        subsets = [groups[s] for s in graph.nodes if s < rel and s in groups]
+        floor = max(subsets, default=0.0)
+        base = float(rng.integers(50, 4000))
+        groups[rel] = max(base, floor * float(rng.uniform(1.0, 2.0)))
+    return RelationStatistics(groups)
+
+
+def search_adversarial_instance(trials: int = 60, seed: int = 0,
+                                memory: float = 12_000.0,
+                                params: CostParameters | None = None
+                                ) -> AdversarialInstance:
+    """Randomized search for a large greedy-vs-optimal gap.
+
+    Returns the worst instance found over ``trials`` random statistics for
+    the {A, B, C, D} query set. Deterministic per seed.
+    """
+    params = params or CostParameters()
+    queries = QuerySet.counts(["A", "B", "C", "D"])
+    rng = np.random.default_rng(seed)
+    chooser = GreedyCollision()
+    oracle = ExhaustiveChoice()
+    worst: AdversarialInstance | None = None
+    for _ in range(trials):
+        stats = _random_stats(rng, queries)
+        greedy = chooser.choose(queries, stats, memory, params)
+        optimal = oracle.choose(queries, stats, memory, params)
+        instance = AdversarialInstance(queries, stats, memory,
+                                       greedy.cost, optimal.cost)
+        if worst is None or instance.gap > worst.gap:
+            worst = instance
+    assert worst is not None
+    return worst
+
+
+def greedy_is_optimal_on(queries: QuerySet, stats: RelationStatistics,
+                         memory: float,
+                         params: CostParameters | None = None,
+                         tolerance: float = 1e-6) -> bool:
+    """Whether GCSL matches the exhaustive optimum on this instance."""
+    return optimality_gap(queries, stats, memory, params) <= 1.0 + tolerance

@@ -1,0 +1,153 @@
+"""Peak-load constraint repair (paper Sections 3.3 and 6.3.4).
+
+The end-of-epoch flush cost ``E_u`` (Eq. 8) must stay below the peak-load
+bound ``E_p`` — the flush happens in a burst while the stream keeps
+arriving. When a cost-optimal allocation violates the bound, the paper
+repairs it with one of two methods:
+
+* **shrink** — scale every hash table down proportionally (freed space is
+  simply left unused);
+* **shift** — move space from the (leaf) query tables to the phantom
+  tables: most of ``E_u`` is the ``c2``-weighted eviction of leaf residents,
+  so shrinking leaves attacks the flush cost directly while the cheap
+  ``c1``-side phantom growth cushions the intra-epoch penalty.
+
+The paper finds shift better when ``E_p`` is close to ``E_u`` and shrink
+better when the gap is large (Figure 15).
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation.base import Allocation
+from repro.core.collision.base import CollisionModel
+from repro.core.configuration import Configuration
+from repro.core.cost_model import CostParameters, flush_cost, per_record_cost
+from repro.core.statistics import RelationStatistics
+from repro.errors import AllocationError
+
+__all__ = ["repair_shrink", "repair_shift", "repair"]
+
+_MIN_BUCKETS = 1.0
+
+
+def _flush_total(config: Configuration, stats: RelationStatistics,
+                 allocation: Allocation, model: CollisionModel,
+                 params: CostParameters) -> float:
+    return flush_cost(config, stats, allocation.buckets, model, params).total
+
+
+def repair_shrink(config: Configuration, stats: RelationStatistics,
+                  allocation: Allocation, model: CollisionModel,
+                  params: CostParameters, peak_limit: float,
+                  tolerance: float = 1e-3,
+                  max_iterations: int = 60) -> Allocation:
+    """Scale all tables down until ``E_u <= peak_limit`` (bisection).
+
+    Returns the largest uniform scale meeting the bound; raises
+    :class:`AllocationError` if even one-bucket tables exceed it.
+    """
+    if _flush_total(config, stats, allocation, model, params) <= peak_limit:
+        return allocation
+    lo, hi = 0.0, 1.0
+    floor_scale = max(_MIN_BUCKETS / allocation[rel]
+                      for rel in config.relations)
+    minimal = allocation.scaled(floor_scale)
+    if _flush_total(config, stats, minimal, model, params) > peak_limit:
+        raise AllocationError(
+            f"peak load {peak_limit} unreachable even with one-bucket tables")
+    lo = floor_scale
+    for _ in range(max_iterations):
+        mid = 0.5 * (lo + hi)
+        trial = allocation.scaled(mid)
+        if _flush_total(config, stats, trial, model, params) <= peak_limit:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tolerance:
+            break
+    return allocation.scaled(lo)
+
+
+def repair_shift(config: Configuration, stats: RelationStatistics,
+                 allocation: Allocation, model: CollisionModel,
+                 params: CostParameters, peak_limit: float,
+                 step_fraction: float = 0.01,
+                 max_iterations: int = 200) -> Allocation:
+    """Move space from query leaves to phantoms until ``E_u <= peak_limit``.
+
+    Each iteration transfers ``step_fraction`` of the total allocated space
+    from the leaf tables (proportional to their current space, never below
+    one bucket) to the phantom tables (proportional to theirs). Raises
+    :class:`AllocationError` if the configuration has no phantoms or the
+    leaves bottom out before the bound is met.
+    """
+    buckets = {rel: float(b) for rel, b in allocation.buckets.items()}
+    phantoms = [rel for rel in config.relations
+                if not config.is_leaf(rel)]
+    leaves = config.leaves
+    if not phantoms:
+        raise AllocationError(
+            "shift repair requires a configuration with phantoms")
+    total_space = sum(buckets[rel] * stats.entry_units(rel)
+                      for rel in config.relations)
+    step = step_fraction * total_space
+    for _ in range(max_iterations):
+        current = Allocation(dict(buckets))
+        if _flush_total(config, stats, current, model, params) <= peak_limit:
+            return current
+        movable = {
+            rel: max((buckets[rel] - _MIN_BUCKETS) * stats.entry_units(rel),
+                     0.0)
+            for rel in leaves
+        }
+        movable_total = sum(movable.values())
+        if movable_total <= 1e-9:
+            break
+        moved = min(step, movable_total)
+        for rel in leaves:
+            take = moved * movable[rel] / movable_total
+            buckets[rel] -= take / stats.entry_units(rel)
+        phantom_space = sum(buckets[rel] * stats.entry_units(rel)
+                            for rel in phantoms)
+        for rel in phantoms:
+            share = buckets[rel] * stats.entry_units(rel) / phantom_space
+            buckets[rel] += moved * share / stats.entry_units(rel)
+    final = Allocation(dict(buckets))
+    if _flush_total(config, stats, final, model, params) <= peak_limit:
+        return final
+    raise AllocationError(
+        f"shift repair could not reach peak load {peak_limit}")
+
+
+def repair(config: Configuration, stats: RelationStatistics,
+           allocation: Allocation, model: CollisionModel,
+           params: CostParameters, peak_limit: float,
+           method: str = "auto") -> Allocation:
+    """Meet the peak-load bound with ``"shrink"``, ``"shift"`` or ``"auto"``.
+
+    ``"auto"`` tries both and keeps the repaired allocation with the lower
+    intra-epoch (Eq. 7) cost, mirroring how an operator would pick between
+    Figure 15's curves.
+    """
+    if method == "shrink":
+        return repair_shrink(config, stats, allocation, model, params,
+                             peak_limit)
+    if method == "shift":
+        return repair_shift(config, stats, allocation, model, params,
+                            peak_limit)
+    if method != "auto":
+        raise ValueError(f"unknown peak-load repair method {method!r}")
+    results = []
+    for fn in (repair_shrink, repair_shift):
+        try:
+            candidate = fn(config, stats, allocation, model, params,
+                           peak_limit)
+        except AllocationError:
+            continue
+        cost = per_record_cost(config, stats, candidate.buckets, model,
+                               params)
+        results.append((cost, candidate))
+    if not results:
+        raise AllocationError(
+            f"no repair method can meet peak load {peak_limit}")
+    return min(results, key=lambda pair: pair[0])[1]

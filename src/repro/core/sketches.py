@@ -1,0 +1,172 @@
+"""Streaming sketches for online statistics estimation.
+
+The optimizer needs per-relation group counts ``g`` and flow lengths
+``l``. Offline those are measured exactly
+(:func:`repro.workloads.datasets.measure_statistics`); a deployed LFTA
+cannot afford exact distinct counting for every candidate phantom, so this
+module provides small-state streaming estimators:
+
+* :class:`KMVDistinctCounter` — the classic k-minimum-values distinct
+  estimator: keep the ``k`` smallest hash values seen; with ``h_(k)`` the
+  k-th smallest as a fraction of the hash space, ``D ~ (k - 1) / h_(k)``.
+  Unbiased, ~``1/sqrt(k-2)`` relative error, mergeable.
+* :class:`RunLengthEstimator` — streaming mean length of consecutive
+  equal-key runs (the simple temporal flow-length proxy; a lower bound
+  under flow interleaving).
+* :class:`StreamStatisticsCollector` — one sketch pair per relation,
+  consuming record batches and emitting a
+  :class:`~repro.core.statistics.RelationStatistics` snapshot for the
+  planner. This is what makes the adaptive controller
+  (:mod:`repro.core.adaptive`) cheap enough to run per epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.attributes import AttributeSet
+from repro.core.statistics import RelationStatistics
+from repro.errors import StatisticsError
+from repro.gigascope.hashing import splitmix64
+
+__all__ = [
+    "KMVDistinctCounter",
+    "RunLengthEstimator",
+    "StreamStatisticsCollector",
+]
+
+_HASH_SPACE = float(2 ** 64)
+
+
+class KMVDistinctCounter:
+    """k-minimum-values distinct-count estimator over 64-bit keys."""
+
+    def __init__(self, k: int = 256, salt: int = 0):
+        if k < 3:
+            raise StatisticsError("KMV needs k >= 3")
+        self.k = k
+        self.salt = np.uint64(salt & 0xFFFFFFFFFFFFFFFF)
+        self._minima = np.empty(0, dtype=np.uint64)
+        self._saturated = False
+
+    def update(self, keys: np.ndarray) -> None:
+        """Absorb a batch of (possibly repeated) 64-bit keys."""
+        if len(keys) == 0:
+            return
+        hashes = splitmix64(np.asarray(keys, dtype=np.uint64) ^ self.salt)
+        merged = np.unique(np.concatenate([self._minima, hashes]))
+        if merged.size > self.k:
+            merged = merged[:self.k]
+            self._saturated = True
+        self._minima = merged
+
+    def merge(self, other: "KMVDistinctCounter") -> None:
+        """Combine with a sketch built over another substream."""
+        if other.k != self.k or other.salt != self.salt:
+            raise StatisticsError("can only merge KMV sketches with the "
+                                  "same k and salt")
+        merged = np.unique(np.concatenate([self._minima, other._minima]))
+        if merged.size > self.k:
+            merged = merged[:self.k]
+            self._saturated = True
+        self._saturated = self._saturated or other._saturated
+        self._minima = merged
+
+    def estimate(self) -> float:
+        """Estimated number of distinct keys seen (exact until saturation)."""
+        if not self._saturated:
+            return float(self._minima.size)
+        kth = float(self._minima[-1]) / _HASH_SPACE
+        return (self.k - 1) / kth
+
+    def __len__(self) -> int:
+        return int(self._minima.size)
+
+
+class RunLengthEstimator:
+    """Streaming mean length of maximal runs of equal keys."""
+
+    def __init__(self) -> None:
+        self._last_key: int | None = None
+        self._records = 0
+        self._runs = 0
+
+    def update(self, keys: np.ndarray) -> None:
+        keys = np.asarray(keys)
+        if keys.size == 0:
+            return
+        boundaries = int(np.count_nonzero(keys[1:] != keys[:-1]))
+        self._runs += boundaries
+        if self._last_key is None or int(keys[0]) != self._last_key:
+            self._runs += 1
+        self._records += int(keys.size)
+        self._last_key = int(keys[-1])
+
+    @property
+    def records(self) -> int:
+        return self._records
+
+    def estimate(self) -> float:
+        """Mean run length (>= 1); 1.0 before any data."""
+        if self._runs == 0:
+            return 1.0
+        return max(self._records / self._runs, 1.0)
+
+
+class StreamStatisticsCollector:
+    """Per-relation sketches over a stream of record batches.
+
+    Parameters
+    ----------
+    relations:
+        The attribute sets to track (typically every feeding-graph node).
+    k:
+        KMV size per relation. 256 gives ~6% relative error on group
+        counts — ample for planning, whose inputs enter through square
+        roots and ratios.
+    track_flows:
+        Also estimate run lengths per relation (for clustered streams).
+    """
+
+    def __init__(self, relations: Iterable[AttributeSet], k: int = 256,
+                 track_flows: bool = False, counters: int = 1):
+        self.relations = sorted(set(relations), key=AttributeSet.sort_key)
+        if not self.relations:
+            raise StatisticsError("collector needs at least one relation")
+        self._distinct = {
+            rel: KMVDistinctCounter(k, salt=i + 1)
+            for i, rel in enumerate(self.relations)
+        }
+        self._runs = ({rel: RunLengthEstimator() for rel in self.relations}
+                      if track_flows else None)
+        self._counters = counters
+        self.records_seen = 0
+
+    def observe(self, columns: Mapping[str, np.ndarray]) -> None:
+        """Absorb one batch given as attribute-name -> column arrays."""
+        from repro.gigascope.hashing import combine_columns
+        n = None
+        for rel in self.relations:
+            cols = [np.asarray(columns[a]) for a in rel]
+            # Value-stable hashes: equal tuples get equal codes in every
+            # batch (pack_tuples codes would be batch-local).
+            codes = combine_columns(cols)
+            if n is None:
+                n = codes.size
+            self._distinct[rel].update(codes)
+            if self._runs is not None:
+                self._runs[rel].update(codes)
+        self.records_seen += int(n or 0)
+
+    def statistics(self) -> RelationStatistics:
+        """A planner-ready snapshot of the current estimates."""
+        groups = {rel: max(counter.estimate(), 1.0)
+                  for rel, counter in self._distinct.items()}
+        flows = ({rel: est.estimate() for rel, est in self._runs.items()}
+                 if self._runs is not None else {})
+        return RelationStatistics(groups, flows, counters=self._counters)
+
+    def group_estimate(self, rel: AttributeSet) -> float:
+        return self._distinct[rel].estimate()

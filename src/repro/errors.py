@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """An attribute name or attribute set is inconsistent with the schema."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration forest is structurally invalid.
+
+    Examples: a child whose attributes are not a strict subset of its
+    parent's, a leaf that is not a user query, or a relation that appears
+    twice.
+    """
+
+
+class NotationError(ReproError):
+    """The textual configuration notation could not be parsed."""
+
+
+class AllocationError(ReproError):
+    """A space allocation request cannot be satisfied.
+
+    Raised when the memory budget is too small to give every instantiated
+    relation at least one bucket, or when an allocator is asked to handle a
+    configuration it does not support.
+    """
+
+
+class StatisticsError(ReproError):
+    """Required per-relation statistics (group counts, ...) are missing."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was given infeasible parameters."""

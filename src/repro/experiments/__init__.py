@@ -1,0 +1,11 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+One module per artifact (see DESIGN.md's per-experiment index); the
+:mod:`~repro.experiments.registry` maps ids (``fig5`` .. ``fig15``,
+``tab1`` .. ``tab3``, ``timing``) to runners, and
+:mod:`~repro.experiments.cli` exposes them as ``repro-experiments``.
+"""
+
+from repro.experiments.common import ExperimentResult, Series
+
+__all__ = ["ExperimentResult", "Series"]

@@ -1,0 +1,65 @@
+"""Command-line interface for the paper-reproduction experiments.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run fig13 [--full]
+    repro-experiments run all [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import experiment_ids, run_experiment
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of 'Multiple "
+                    "Aggregations Over Data Streams' (SIGMOD 2005).")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id, e.g. fig13, or 'all'")
+    run_p.add_argument("--full", action="store_true",
+                       help="paper-scale datasets (1M/860k records)")
+    run_p.add_argument("--plot", action="store_true",
+                       help="also draw an ASCII chart of the series")
+    run_p.add_argument("--log-y", action="store_true",
+                       help="log-scale y axis for --plot")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        start = time.perf_counter()
+        try:
+            result = run_experiment(experiment_id, full_scale=args.full)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if getattr(args, "plot", False):
+            from repro.experiments.plotting import render_with_chart
+            print(render_with_chart(result, log_y=args.log_y))
+        else:
+            print(result.render())
+        print(f"[{experiment_id} finished in "
+              f"{time.perf_counter() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""Shared scaffolding for the paper-reproduction experiments.
+
+Every experiment module exposes ``run(...) -> ExperimentResult``; results
+hold named series (the lines of a figure / rows of a table) and render as
+aligned text so ``repro-experiments run <id>`` prints something directly
+comparable to the paper's plots.
+
+Workloads are cached per (kind, size, seed) so a benchmark session
+generates each trace once. Default sizes are scaled down from the paper's
+(1M synthetic / 860k real) for iteration speed; pass ``full_scale=True``
+(or ``--full`` on the CLI) for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Sequence
+
+from repro.core.cost_model import CostParameters
+from repro.gigascope.records import Dataset, StreamSchema
+from repro.workloads import (
+    NetflowTraceGenerator,
+    make_group_universe,
+    uniform_dataset,
+)
+from repro.workloads.universe import PAPER_CHAIN
+
+__all__ = [
+    "Series",
+    "ExperimentResult",
+    "paper_params",
+    "MEMORY_GRID",
+    "REDUCED_RECORDS",
+    "FULL_SYNTHETIC_RECORDS",
+    "FULL_TRACE_RECORDS",
+    "synthetic_stream",
+    "netflow_stream",
+    "record_count",
+]
+
+#: The paper's memory grid: 20,000 .. 100,000 four-byte units (Sec. 6.1).
+MEMORY_GRID = (20_000, 40_000, 60_000, 80_000, 100_000)
+
+#: Paper-scale record counts (Sec. 6.1) and the reduced default.
+FULL_SYNTHETIC_RECORDS = 1_000_000
+FULL_TRACE_RECORDS = 860_000
+REDUCED_RECORDS = 200_000
+
+
+def paper_params() -> CostParameters:
+    """c1 = 1, c2 = 50 — the paper's measured cost ratio (Sec. 6.1)."""
+    return CostParameters(probe_cost=1.0, evict_cost=50.0)
+
+
+def record_count(full_scale: bool, full: int) -> int:
+    return full if full_scale else min(full, REDUCED_RECORDS)
+
+
+@dataclass(frozen=True)
+class Series:
+    """One line of a figure: a name and aligned x/y vectors."""
+
+    name: str
+    x: tuple
+    y: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.name!r}: x/y length mismatch")
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered-to-text reproduction of one paper table or figure."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series]
+    notes: list[str] = field(default_factory=list)
+
+    def series_by_name(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series named {name!r} in {self.experiment_id}")
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        xs: list = []
+        for s in self.series:
+            for x in s.x:
+                if x not in xs:
+                    xs.append(x)
+        headers = [self.x_label] + [s.name for s in self.series]
+        maps = [dict(zip(s.x, s.y)) for s in self.series]
+        rows = []
+        for x in xs:
+            row = [_fmt(x)]
+            for mapping in maps:
+                row.append(_fmt(mapping.get(x)))
+            rows.append(row)
+        widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+                  for i, h in enumerate(headers)]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@lru_cache(maxsize=8)
+def _paper_universe(seed: int = 0):
+    schema = StreamSchema(("A", "B", "C", "D"))
+    return make_group_universe(schema, PAPER_CHAIN, seed=seed)
+
+
+@lru_cache(maxsize=8)
+def synthetic_stream(n_records: int, seed: int = 0) -> Dataset:
+    """The paper's uniform 4-d synthetic dataset at a given size."""
+    return uniform_dataset(_paper_universe(seed), n_records,
+                           duration=62.0, seed=seed + 1)
+
+
+@lru_cache(maxsize=8)
+def netflow_stream(n_records: int, seed: int = 0,
+                   mean_flow_length: float | None = None) -> Dataset:
+    """The clustered real-data substitute at a given size.
+
+    Flow length scales with the record count so that the number of flows
+    (and hence realized groups) stays paper-like at reduced sizes.
+    """
+    if mean_flow_length is None:
+        mean_flow_length = max(
+            300.0 * n_records / FULL_TRACE_RECORDS, 20.0)
+    generator = NetflowTraceGenerator(_paper_universe(seed),
+                                      mean_flow_length=mean_flow_length)
+    return generator.generate(n_records, duration=62.0, seed=seed + 1)

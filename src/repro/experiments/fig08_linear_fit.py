@@ -1,0 +1,46 @@
+"""Figure 8 / Eq. 16 — the low-collision region is (almost) a line.
+
+Zooming into ``x < 0.4``, a linear regression of the precise curve yields
+the paper's ``x = 0.0267 + 0.354 (g/b)``; we re-derive the coefficients and
+report the fit error over the region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.collision import fit_linear_low_region, precise_rate
+from repro.core.collision.lookup import PAPER_ALPHA, PAPER_MU
+from repro.experiments.common import ExperimentResult, Series
+
+__all__ = ["run"]
+
+
+def run(max_rate: float = 0.4, points: int = 21) -> ExperimentResult:
+    alpha, mu = fit_linear_low_region(max_rate=max_rate)
+    # Sample the region up to where the curve hits max_rate.
+    hi = 0.1
+    while precise_rate(hi * 1000, 1000) < max_rate:
+        hi += 0.01
+    ratios = tuple(np.linspace(0.02, hi, points))
+    actual = tuple(precise_rate(r * 1000, 1000) for r in ratios)
+    fitted = tuple(alpha + mu * r for r in ratios)
+    # Relative error is judged away from the origin (x ~ 0 makes any
+    # absolute gap look huge); the paper's ~5% average refers to the bulk
+    # of the region.
+    rel_errors = [abs(f - a) / a for a, f in zip(actual, fitted) if a > 0.05]
+    series = [
+        Series("actual collision rate", ratios, actual),
+        Series("regression", ratios, fitted),
+        Series("paper Eq. 16", ratios,
+               tuple(PAPER_ALPHA + PAPER_MU * r for r in ratios)),
+    ]
+    notes = [
+        f"re-derived fit: x = {alpha:.4f} + {mu:.4f} (g/b); paper: "
+        f"x = {PAPER_ALPHA} + {PAPER_MU} (g/b)",
+        f"average relative error of the fit: {np.mean(rel_errors):.2%} "
+        "(paper: ~5%)",
+    ]
+    return ExperimentResult(
+        "fig8", "Linear regression of the low collision-rate region",
+        "g/b", "collision rate", series, notes)

@@ -1,0 +1,53 @@
+"""Figures 9 and 10 — heuristic space allocation vs. ES on four configs.
+
+* Fig. 9(a): ``(ABC(AC(A C) B))`` — queries {A, B, C};
+* Fig. 9(b): ``AB(A B) CD(C D)`` — queries {A, B, C, D};
+* Fig. 10(a): ``(ABCD(ABC(A BC(B C)) D))`` — queries {A, B, C, D};
+* Fig. 10(b): ``(ABCD(AB BCD(BC BD CD)))`` — queries {AB, BC, BD, CD}.
+
+For each, the SL/SR/PL/PR cost error relative to ES over M = 20k..100k.
+Paper shape: SL almost always best; PL/PR errors up to ~35%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, MEMORY_GRID
+from repro.experiments.space_allocation import allocation_figure
+
+__all__ = ["run_fig9a", "run_fig9b", "run_fig10a", "run_fig10b", "run"]
+
+PANELS = {
+    "fig9a": ("(ABC(AC(A C) B))", None),
+    "fig9b": ("AB(A B) CD(C D)", None),
+    "fig10a": ("(ABCD(ABC(A BC(B C)) D))", None),
+    "fig10b": ("(ABCD(AB BCD(BC BD CD)))", None),
+}
+
+
+def run_panel(panel: str, full_scale: bool = False, seed: int = 0,
+              memories: tuple[int, ...] = MEMORY_GRID) -> ExperimentResult:
+    notation, queries = PANELS[panel]
+    return allocation_figure(panel, notation, queries, full_scale, seed,
+                             memories)
+
+
+def run_fig9a(**kwargs) -> ExperimentResult:
+    return run_panel("fig9a", **kwargs)
+
+
+def run_fig9b(**kwargs) -> ExperimentResult:
+    return run_panel("fig9b", **kwargs)
+
+
+def run_fig10a(**kwargs) -> ExperimentResult:
+    return run_panel("fig10a", **kwargs)
+
+
+def run_fig10b(**kwargs) -> ExperimentResult:
+    return run_panel("fig10b", **kwargs)
+
+
+def run(full_scale: bool = False, seed: int = 0) -> list[ExperimentResult]:
+    """All four panels."""
+    return [run_panel(panel, full_scale=full_scale, seed=seed)
+            for panel in PANELS]

@@ -1,0 +1,94 @@
+"""Figure 15 — shrink vs. shift under a peak-load constraint.
+
+Setup (paper Sec. 6.3.4): real-like data, queries {AB, BC, BD, CD},
+M = 40,000. The GCSL plan's end-of-epoch cost ``E_u`` is computed; for each
+peak bound ``E_p = p% * E_u`` (p = 82..98) the allocation is repaired with
+*shrink* and with *shift*, the repaired systems are executed on the stream,
+and the measured intra-epoch costs are reported relative to the unrepaired
+plan.
+
+Paper shape: shift wins when ``E_p`` is close to ``E_u``; shrink wins when
+the gap is large.
+"""
+
+from __future__ import annotations
+
+from repro.core.collision import LookupModel
+from repro.core.cost_model import flush_cost
+from repro.core.optimizer import plan
+from repro.core.peak_load import repair_shift, repair_shrink
+from repro.core.queries import QuerySet
+from repro.core.feeding_graph import FeedingGraph
+from repro.errors import AllocationError
+from repro.experiments.common import (
+    ExperimentResult,
+    FULL_TRACE_RECORDS,
+    Series,
+    netflow_stream,
+    paper_params,
+    record_count,
+)
+from repro.gigascope.engine import simulate
+from repro.workloads.datasets import measure_statistics
+
+__all__ = ["run"]
+
+#: The paper plots 82..98%; we extend down to 70% because in our cost
+#: landscape the shift method stays near-optimal through the paper's range
+#: and only breaks down (leaves at one bucket, "-" in the output) for
+#: tighter bounds — the same shift-near/shrink-far phenomenon, with the
+#: crossover at a different absolute position.
+PERCENTS = (70, 74, 78, 82, 86, 90, 94, 98)
+
+
+def _measured(dataset, config, allocation, params) -> float:
+    buckets = {rel: max(int(b), 1) for rel, b in allocation.buckets.items()}
+    result = simulate(dataset, config, buckets,
+                      epoch_seconds=dataset.duration + 1.0)
+    return result.per_record_cost(params)
+
+
+def run(full_scale: bool = False, seed: int = 0, memory: float = 40_000.0,
+        percents: tuple[int, ...] = PERCENTS) -> ExperimentResult:
+    n = record_count(full_scale, FULL_TRACE_RECORDS)
+    dataset = netflow_stream(n, seed=seed)
+    queries = QuerySet.counts(["AB", "BC", "BD", "CD"])
+    stats = measure_statistics(dataset, FeedingGraph(queries).nodes,
+                               flow_timeout=1.0)
+    params = paper_params()
+    model = LookupModel()
+    base_plan = plan(queries, stats, memory, params, algorithm="gcsl",
+                     integer=False)
+    config = base_plan.configuration
+    base_flush = flush_cost(config, stats, base_plan.allocation.buckets,
+                            model, params).total
+    base_cost = _measured(dataset, config, base_plan.allocation, params)
+
+    shrink_rel, shift_rel = [], []
+    for pct in percents:
+        limit = base_flush * pct / 100.0
+        row = {}
+        for name, fn in (("shrink", repair_shrink), ("shift", repair_shift)):
+            try:
+                repaired = fn(config, stats, base_plan.allocation, model,
+                              params, limit)
+                row[name] = _measured(dataset, config, repaired,
+                                      params) / base_cost
+            except AllocationError:
+                row[name] = None
+        shrink_rel.append(row["shrink"])
+        shift_rel.append(row["shift"])
+    series = [
+        Series("shrink", percents, tuple(shrink_rel)),
+        Series("shift", percents, tuple(shift_rel)),
+    ]
+    notes = [
+        f"E_u of the unconstrained GCSL plan: {base_flush:.0f} cost units; "
+        f"configuration {config}",
+        "expected: shift better near 100%, shrink better (or the only "
+        "option, '-' = shift infeasible) for tight bounds (paper Fig. 15)",
+    ]
+    return ExperimentResult(
+        "fig15", "Peak-load repair: shrink vs shift (M=40k)",
+        "peak load constraint (% of E_u)",
+        "relative measured cost", series, notes)

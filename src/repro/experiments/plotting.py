@@ -1,0 +1,109 @@
+"""Terminal (ASCII) charts for experiment results.
+
+The paper's artifacts are mostly *figures*; the tables that
+:meth:`ExperimentResult.render` prints carry the numbers, and this module
+adds the shape: a multi-series scatter chart drawn with per-series markers,
+axes, tick labels and a legend — enough to eyeball a knee, a crossover or
+an order-of-magnitude gap straight from ``repro-experiments run <id>
+--plot``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.common import ExperimentResult, Series
+
+__all__ = ["ascii_chart", "render_with_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _ticks(lo: float, hi: float, count: int) -> list[float]:
+    if hi <= lo:
+        return [lo]
+    return [lo + (hi - lo) * i / (count - 1) for i in range(count)]
+
+
+def _fmt_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def ascii_chart(series: list[Series], width: int = 64, height: int = 16,
+                x_label: str = "x", y_label: str = "y",
+                log_y: bool = False) -> str:
+    """Render series as a character grid with axes and a legend.
+
+    ``log_y`` plots ``log10(y)`` (points with ``y <= 0`` are dropped),
+    which is how the paper draws Figures 13(b)/14(b).
+    """
+    points: list[tuple[float, float, str]] = []
+    for index, s in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(s.x, s.y):
+            if y is None:
+                continue
+            y = float(y)
+            if log_y:
+                if y <= 0:
+                    continue
+                y = math.log10(y)
+            points.append((float(x), y, marker))
+    if not points:
+        return "(no data to plot)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+        grid[height - 1 - row][col] = marker
+
+    y_ticks = _ticks(y_lo, y_hi, 5)
+    label_width = max(len(_fmt_tick(10 ** t if log_y else t))
+                      for t in y_ticks)
+    lines: list[str] = []
+    tick_rows = {height - 1 - int(round((t - y_lo) / (y_hi - y_lo)
+                                        * (height - 1))): t
+                 for t in y_ticks}
+    for row_index, row in enumerate(grid):
+        if row_index in tick_rows:
+            t = tick_rows[row_index]
+            shown = 10 ** t if log_y else t
+            label = _fmt_tick(shown).rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_ticks = _ticks(x_lo, x_hi, 4)
+    tick_text = "   ".join(_fmt_tick(t) for t in x_ticks)
+    lines.append(" " * (label_width + 2) + tick_text)
+    lines.append(" " * (label_width + 2)
+                 + f"{x_label}  (y: {y_label}"
+                 + (", log scale)" if log_y else ")"))
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} {s.name}"
+                        for i, s in enumerate(series))
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def render_with_chart(result: ExperimentResult, log_y: bool = False,
+                      **chart_kwargs) -> str:
+    """The tabular rendering followed by the chart."""
+    chart = ascii_chart(result.series, x_label=result.x_label,
+                        y_label=result.y_label, log_y=log_y,
+                        **chart_kwargs)
+    return f"{result.render()}\n\n{chart}"

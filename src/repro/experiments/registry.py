@@ -1,0 +1,73 @@
+"""Registry mapping experiment ids to their runners.
+
+Every table and figure of the paper's evaluation has an entry; ids match
+DESIGN.md's per-experiment index.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ext_sensitivity,
+    fig05_collision_validation,
+    fig06_collision_components,
+    fig07_collision_curve,
+    fig08_linear_fit,
+    fig09_fig10_space_allocation,
+    fig11_fig12_phantom_choice,
+    fig13_fig14_measured,
+    fig15_peak_load,
+    tab01_collision_variation,
+    tab02_tab03_heuristic_stats,
+    timing,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["REGISTRY", "run_experiment", "experiment_ids"]
+
+REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
+    "fig5": fig05_collision_validation.run,
+    "fig6": fig06_collision_components.run,
+    "tab1": tab01_collision_variation.run,
+    "fig7": fig07_collision_curve.run,
+    "fig8": fig08_linear_fit.run,
+    "fig9a": fig09_fig10_space_allocation.run_fig9a,
+    "fig9b": fig09_fig10_space_allocation.run_fig9b,
+    "fig10a": fig09_fig10_space_allocation.run_fig10a,
+    "fig10b": fig09_fig10_space_allocation.run_fig10b,
+    "tab2": tab02_tab03_heuristic_stats.run_tab2,
+    "tab3": tab02_tab03_heuristic_stats.run_tab3,
+    "fig11": fig11_fig12_phantom_choice.run_fig11,
+    "fig12": fig11_fig12_phantom_choice.run_fig12,
+    "fig13": fig13_fig14_measured.run_fig13,
+    "fig14": fig13_fig14_measured.run_fig14,
+    "fig15": fig15_peak_load.run,
+    "timing": timing.run,
+    # Extensions beyond the paper's artifacts (sensitivity studies).
+    "ext_skew": ext_sensitivity.run_skew,
+    "ext_concurrency": ext_sensitivity.run_concurrency,
+}
+
+#: Experiments whose runners accept the ``full_scale`` switch.
+_SCALED = {"fig5", "fig9a", "fig9b", "fig10a", "fig10b", "tab2", "tab3",
+           "fig11", "fig12", "fig13", "fig14", "fig15",
+           "ext_skew", "ext_concurrency"}
+
+
+def experiment_ids() -> list[str]:
+    return list(REGISTRY)
+
+
+def run_experiment(experiment_id: str,
+                   full_scale: bool = False) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig13"``)."""
+    try:
+        runner = REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(REGISTRY)}") from None
+    if experiment_id in _SCALED:
+        return runner(full_scale=full_scale)
+    return runner()

@@ -1,0 +1,107 @@
+"""The sequential direct-mapped LFTA hash table (paper Section 2.2).
+
+This is the paper's machine, implemented record-at-a-time: each bucket
+holds at most one ``{group, count}`` entry (plus an optional value sum).
+An arriving record either starts an entry, increments a matching entry, or
+*collides* — evicting the resident entry before taking the bucket.
+
+It serves as the ground-truth reference for the vectorized engine: both
+use :func:`repro.gigascope.hashing.bucket_of_values`-compatible placement,
+so their behaviour is identical event-for-event (asserted in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.gigascope.hashing import bucket_of_values
+
+__all__ = ["Entry", "Eviction", "DirectMappedTable"]
+
+
+@dataclass
+class Entry:
+    """A resident ``{group, count}`` pair with optional value partials."""
+
+    group: tuple[int, ...]
+    count: int
+    value_sum: float = 0.0
+    value_min: float = float("inf")
+    value_max: float = float("-inf")
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """An entry pushed out of the table, with the cause recorded."""
+
+    group: tuple[int, ...]
+    count: int
+    value_sum: float
+    bucket: int
+    by_collision: bool
+    value_min: float = float("inf")
+    value_max: float = float("-inf")
+
+
+class DirectMappedTable:
+    """A fixed-size, one-entry-per-bucket hash table."""
+
+    def __init__(self, buckets: int, salt: int = 0):
+        if buckets < 1:
+            raise ValueError("a hash table needs at least one bucket")
+        self.buckets = buckets
+        self.salt = salt
+        self._slots: list[Entry | None] = [None] * buckets
+        self.probes = 0
+        self.collisions = 0
+
+    def __len__(self) -> int:
+        return sum(1 for slot in self._slots if slot is not None)
+
+    def bucket_of(self, group: tuple[int, ...]) -> int:
+        return bucket_of_values(group, self.salt, self.buckets)
+
+    def insert(self, group: tuple[int, ...], count: int = 1,
+               value_sum: float = 0.0,
+               value_min: float = float("inf"),
+               value_max: float = float("-inf")) -> Eviction | None:
+        """Probe with a (possibly weighted) partial aggregate.
+
+        Returns the evicted entry on a collision, else ``None``. Weighted
+        inserts model evictions cascading from a parent table: the arriving
+        entry carries accumulated partials (count, sum, min, max) rather
+        than a single record's.
+        """
+        self.probes += 1
+        bucket = self.bucket_of(group)
+        resident = self._slots[bucket]
+        if resident is None:
+            self._slots[bucket] = Entry(group, count, value_sum,
+                                        value_min, value_max)
+            return None
+        if resident.group == group:
+            resident.count += count
+            resident.value_sum += value_sum
+            resident.value_min = min(resident.value_min, value_min)
+            resident.value_max = max(resident.value_max, value_max)
+            return None
+        self.collisions += 1
+        evicted = Eviction(resident.group, resident.count,
+                           resident.value_sum, bucket, by_collision=True,
+                           value_min=resident.value_min,
+                           value_max=resident.value_max)
+        self._slots[bucket] = Entry(group, count, value_sum,
+                                    value_min, value_max)
+        return evicted
+
+    def flush(self) -> Iterator[Eviction]:
+        """Evict every resident entry, in bucket-scan order, emptying the table."""
+        for bucket, resident in enumerate(self._slots):
+            if resident is not None:
+                yield Eviction(resident.group, resident.count,
+                               resident.value_sum, bucket,
+                               by_collision=False,
+                               value_min=resident.value_min,
+                               value_max=resident.value_max)
+        self._slots = [None] * self.buckets

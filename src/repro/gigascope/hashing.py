@@ -1,0 +1,136 @@
+"""Deterministic hashing for LFTA hash tables.
+
+Two independent concerns are served:
+
+* **Group identity** — :func:`pack_tuples` maps attribute-value tuples to
+  collision-free 64-bit codes (mixed-radix packing over factorized columns).
+  Used by the vectorized engine for exact run detection and by the HFTA for
+  exact aggregation.
+* **Bucket placement** — :func:`bucket_indices` (vectorized) and
+  :func:`bucket_of_values` (scalar) hash the raw attribute *values* through
+  a salted splitmix64 chain and reduce modulo the table size. Both
+  implementations produce identical bucket choices, which is what makes the
+  sequential reference and the vectorized engine bit-comparable.
+
+The paper assumes "the hash function randomly hashes the data"; splitmix64
+is an excellent cheap approximation of that ideal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "splitmix64",
+    "bucket_indices",
+    "bucket_of_values",
+    "combine_columns",
+    "pack_tuples",
+    "relation_salt",
+]
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def splitmix64(x: np.ndarray | int) -> np.ndarray | np.uint64:
+    """The splitmix64 finalizer: a high-quality 64-bit mixing function."""
+    z = np.asarray(x, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = (z + _GOLDEN) & _MASK
+        z = ((z ^ (z >> np.uint64(30))) * _MIX1) & _MASK
+        z = ((z ^ (z >> np.uint64(27))) * _MIX2) & _MASK
+        z = z ^ (z >> np.uint64(31))
+    if np.isscalar(x) or z.ndim == 0:
+        return np.uint64(z)
+    return z
+
+
+def combine_columns(columns: Sequence[np.ndarray],
+                    salt: int = 0) -> np.ndarray:
+    """Salted 64-bit hash of attribute-value tuples, stable across calls.
+
+    Unlike :func:`pack_tuples` (whose codes are only meaningful within one
+    call, being factorized), equal tuples map to equal hashes in *any*
+    call — the property streaming sketches need. Distinct tuples collide
+    with probability ~2^-64 per pair, negligible for estimation.
+    """
+    return _chain(columns, salt)
+
+
+def _chain(columns: Sequence[np.ndarray], salt: int) -> np.ndarray:
+    state = splitmix64(np.uint64(salt & 0xFFFFFFFFFFFFFFFF))
+    acc = None
+    for col in columns:
+        col64 = np.asarray(col).astype(np.uint64)
+        if acc is None:
+            acc = splitmix64(col64 ^ state)
+        else:
+            acc = splitmix64(acc ^ splitmix64(col64 ^ state))
+    if acc is None:
+        raise ValueError("need at least one column to hash")
+    return acc
+
+
+def bucket_indices(columns: Sequence[np.ndarray], salt: int,
+                   buckets: int) -> np.ndarray:
+    """Vectorized bucket placement for value columns."""
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    return (_chain(columns, salt) % np.uint64(buckets)).astype(np.int64)
+
+
+def bucket_of_values(values: Sequence[int], salt: int, buckets: int) -> int:
+    """Scalar bucket placement, identical to :func:`bucket_indices`."""
+    cols = [np.array([v]) for v in values]
+    return int(bucket_indices(cols, salt, buckets)[0])
+
+
+def pack_tuples(columns: Sequence[np.ndarray]) -> np.ndarray:
+    """Collision-free 64-bit group codes for attribute-value tuples.
+
+    Each column is factorized to dense codes; codes are combined by
+    mixed-radix packing. Whenever the radix product would approach 2**63
+    the partial key is re-factorized, so arbitrary column counts are safe.
+    Equal tuples always receive equal codes and distinct tuples distinct
+    codes (within one call).
+    """
+    if not columns:
+        raise ValueError("need at least one column to pack")
+    key = None
+    radix = 1
+    limit = 1 << 62
+    for col in columns:
+        codes, card = _factorize(np.asarray(col))
+        if key is None:
+            key, radix = codes, card
+            continue
+        if radix * card >= limit:
+            key, radix = _factorize(key)
+        key = key * np.int64(card) + codes
+        radix = radix * card
+        if radix >= limit:
+            key, radix = _factorize(key)
+    assert key is not None
+    return key.astype(np.uint64)
+
+
+def _factorize(arr: np.ndarray) -> tuple[np.ndarray, int]:
+    uniques, inverse = np.unique(arr, return_inverse=True)
+    return inverse.astype(np.int64), int(uniques.size)
+
+
+def relation_salt(label: str, seed: int = 0) -> int:
+    """A stable per-relation salt derived from its label and a seed.
+
+    Python's builtin ``hash`` is randomized per process, so we fold the
+    label bytes through splitmix64 instead.
+    """
+    acc = np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
+    for byte in label.encode("utf-8"):
+        acc = splitmix64(acc ^ np.uint64(byte))
+    return int(acc)

@@ -1,0 +1,181 @@
+"""The HFTA: high-level node merging partial aggregates per epoch.
+
+The LFTA evicts partial aggregates (several per group per epoch, because
+of collisions); the HFTA combines them into the exact per-epoch answer
+(paper Section 2.2). Partials are *mergeable*: counts and value sums add,
+value minima/maxima combine by min/max — which is exactly why the phantom
+tree can merge entries at every level without losing information.
+
+This implementation accepts eviction batches as numpy arrays (vectorized
+engine) or as individual :class:`~repro.gigascope.hash_table.Eviction`
+objects (reference engine), merges lazily, and serves final query answers
+with HAVING-style thresholds.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable, Mapping, NamedTuple
+
+import numpy as np
+
+from repro.core.attributes import AttributeSet
+from repro.core.queries import AggregationQuery
+from repro.gigascope.hash_table import Eviction
+
+__all__ = ["GroupAggregate", "HFTA"]
+
+
+class GroupAggregate(NamedTuple):
+    """A group's merged partial aggregate for one epoch."""
+
+    count: int
+    value_sum: float = 0.0
+    value_min: float = math.inf
+    value_max: float = -math.inf
+
+    def merge(self, other: "GroupAggregate") -> "GroupAggregate":
+        return GroupAggregate(
+            self.count + other.count,
+            self.value_sum + other.value_sum,
+            min(self.value_min, other.value_min),
+            max(self.value_max, other.value_max))
+
+
+_GroupTotals = dict[tuple[int, ...], GroupAggregate]
+
+_Batch = tuple[dict[str, np.ndarray], np.ndarray, np.ndarray,
+               np.ndarray | None, np.ndarray | None]
+
+
+class HFTA:
+    """Merges evicted partial aggregates into final per-epoch answers."""
+
+    def __init__(self) -> None:
+        self._batches: dict[tuple[AttributeSet, int], list[_Batch]] = \
+            defaultdict(list)
+        self._totals_cache: dict[tuple[AttributeSet, int], _GroupTotals] = {}
+        self.evictions_received = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest_arrays(self, relation: AttributeSet, epoch: int,
+                      columns: Mapping[str, np.ndarray],
+                      counts: np.ndarray,
+                      value_sums: np.ndarray | None = None,
+                      value_mins: np.ndarray | None = None,
+                      value_maxs: np.ndarray | None = None) -> None:
+        """Accept a batch of evicted entries as aligned arrays."""
+        n = int(np.asarray(counts).shape[0])
+        if n == 0:
+            return
+        cols = {name: np.asarray(arr) for name, arr in columns.items()}
+        vsums = (np.zeros(n) if value_sums is None
+                 else np.asarray(value_sums, dtype=np.float64))
+        vmins = (None if value_mins is None
+                 else np.asarray(value_mins, dtype=np.float64))
+        vmaxs = (None if value_maxs is None
+                 else np.asarray(value_maxs, dtype=np.float64))
+        self._batches[(relation, epoch)].append(
+            (cols, np.asarray(counts, dtype=np.int64), vsums, vmins, vmaxs))
+        self._totals_cache.pop((relation, epoch), None)
+        self.evictions_received += n
+
+    def ingest_evictions(self, relation: AttributeSet, epoch: int,
+                         evictions: Iterable[Eviction]) -> None:
+        """Accept individual evictions (sequential reference path)."""
+        evs = list(evictions)
+        if not evs:
+            return
+        names = relation.names
+        columns = {
+            name: np.array([e.group[i] for e in evs], dtype=np.int64)
+            for i, name in enumerate(names)
+        }
+        self.ingest_arrays(
+            relation, epoch, columns,
+            np.array([e.count for e in evs], dtype=np.int64),
+            np.array([e.value_sum for e in evs], dtype=np.float64),
+            np.array([e.value_min for e in evs], dtype=np.float64),
+            np.array([e.value_max for e in evs], dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def epochs(self, relation: AttributeSet) -> list[int]:
+        """Epoch ids for which this relation received evictions."""
+        return sorted({epoch for (rel, epoch) in self._batches
+                       if rel == relation})
+
+    def totals(self, relation: AttributeSet, epoch: int) -> _GroupTotals:
+        """Merged ``group -> GroupAggregate`` for one epoch."""
+        key = (relation, epoch)
+        if key in self._totals_cache:
+            return self._totals_cache[key]
+        batches = self._batches.get(key, [])
+        merged: _GroupTotals = {}
+        if batches:
+            names = relation.names
+            stacked = {
+                name: np.concatenate([b[0][name] for b in batches])
+                for name in names
+            }
+            counts = np.concatenate([b[1] for b in batches])
+            vsums = np.concatenate([b[2] for b in batches])
+            n = counts.shape[0]
+            vmins = np.concatenate([
+                b[3] if b[3] is not None else np.full(b[1].shape[0], np.inf)
+                for b in batches])
+            vmaxs = np.concatenate([
+                b[4] if b[4] is not None else np.full(b[1].shape[0], -np.inf)
+                for b in batches])
+            matrix = np.column_stack([stacked[name] for name in names])
+            uniques, inverse = np.unique(matrix, axis=0, return_inverse=True)
+            total_counts = np.bincount(inverse, weights=counts)
+            total_vsums = np.bincount(inverse, weights=vsums)
+            total_vmins = np.full(uniques.shape[0], np.inf)
+            np.minimum.at(total_vmins, inverse, vmins)
+            total_vmaxs = np.full(uniques.shape[0], -np.inf)
+            np.maximum.at(total_vmaxs, inverse, vmaxs)
+            for i, row in enumerate(uniques):
+                merged[tuple(int(v) for v in row)] = GroupAggregate(
+                    int(total_counts[i]), float(total_vsums[i]),
+                    float(total_vmins[i]), float(total_vmaxs[i]))
+        self._totals_cache[key] = merged
+        return merged
+
+    def query_answer(self, query: AggregationQuery,
+                     epoch: int) -> dict[tuple[int, ...], float]:
+        """The final answer of a query for one epoch.
+
+        Applies the aggregate function (``count``/``sum``/``avg``/``min``/
+        ``max``) and the HAVING threshold (on group count) if the query
+        declares one.
+        """
+        totals = self.totals(query.group_by, epoch)
+        answer: dict[tuple[int, ...], float] = {}
+        kind = query.aggregate.kind
+        for group, agg in totals.items():
+            if query.having_min is not None and \
+                    agg.count < query.having_min:
+                continue
+            if kind == "count":
+                answer[group] = float(agg.count)
+            elif kind == "sum":
+                answer[group] = agg.value_sum
+            elif kind == "avg":
+                answer[group] = (agg.value_sum / agg.count
+                                 if agg.count else 0.0)
+            elif kind == "min":
+                answer[group] = agg.value_min
+            else:  # max
+                answer[group] = agg.value_max
+        return answer
+
+    def all_answers(self, query: AggregationQuery
+                    ) -> dict[int, dict[tuple[int, ...], float]]:
+        """Per-epoch answers for a query, over all epochs seen."""
+        return {epoch: self.query_answer(query, epoch)
+                for epoch in self.epochs(query.group_by)}

@@ -1,0 +1,245 @@
+"""Incremental, push-based execution with mid-stream reconfiguration.
+
+:class:`LiveStreamSystem` accepts record batches as they arrive (batches
+may split epochs arbitrarily), processes every *completed* epoch through
+the vectorized engine, and lets the caller — or an attached
+:class:`~repro.core.adaptive.AdaptiveController` — swap in a new plan at
+any epoch boundary. Because the LFTA flushes every table at epoch
+boundaries anyway, reconfiguration there is free: no state migrates.
+
+This is the paper's deployment story (Sec. 8: "studying issues related to
+adaptivity and frequency of execution") built out: sketches estimate the
+statistics, the planner re-runs in milliseconds, and the configuration
+follows the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.attributes import AttributeSet
+from repro.core.configuration import Configuration
+from repro.core.cost_model import CostParameters
+from repro.core.optimizer import Plan
+from repro.core.queries import QuerySet
+from repro.errors import ConfigurationError, SchemaError
+from repro.gigascope.engine import simulate
+from repro.gigascope.hfta import HFTA
+from repro.gigascope.metrics import CostCounters
+from repro.gigascope.records import Dataset, StreamSchema
+
+__all__ = ["EpochReport", "LiveStreamSystem"]
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """Per-epoch accounting emitted as epochs complete."""
+
+    epoch: int
+    records: int
+    configuration: Configuration
+    intra_cost: float
+    flush_cost: float
+
+    @property
+    def per_record_cost(self) -> float:
+        return self.intra_cost / self.records if self.records else 0.0
+
+
+@dataclass
+class _Era:
+    """A maximal span of epochs sharing one configuration."""
+
+    configuration: Configuration
+    buckets: dict[AttributeSet, int]
+    counters: CostCounters = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.counters = CostCounters(self.configuration)
+
+
+class LiveStreamSystem:
+    """A two-level stream system fed incrementally."""
+
+    def __init__(self, schema: StreamSchema, queries: QuerySet,
+                 plan: Plan, params: CostParameters | None = None,
+                 value_column: str | None = None,
+                 controller=None, salt_seed: int = 0,
+                 where=None):
+        self.schema = schema
+        self.queries = queries
+        self.params = params or CostParameters()
+        self.value_column = value_column
+        self.controller = controller
+        self.salt_seed = salt_seed
+        self.where = where
+        self.epoch_seconds = queries.epoch_seconds
+        self.hfta = HFTA()
+        self.eras: list[_Era] = []
+        self.epoch_reports: list[EpochReport] = []
+        self.reconfigurations: list[tuple[int, Configuration]] = []
+        self._apply_plan(plan)
+        # Buffered records of the (single) currently open epoch.
+        self._pending_cols: dict[str, list[np.ndarray]] = \
+            {a: [] for a in schema.attributes}
+        self._pending_vals: list[np.ndarray] = []
+        self._pending_times: list[np.ndarray] = []
+        self._pending_epoch: int | None = None
+        self._last_time = -np.inf
+        self.records_seen = 0
+
+    # ------------------------------------------------------------------
+    # Configuration management
+    # ------------------------------------------------------------------
+    def _apply_plan(self, plan: Plan) -> None:
+        missing = [q for q in self.queries.group_bys
+                   if q not in plan.configuration]
+        if missing:
+            raise ConfigurationError(
+                f"plan does not instantiate queries {missing}")
+        buckets = {rel: max(int(b), 1)
+                   for rel, b in plan.allocation.buckets.items()}
+        self.eras.append(_Era(plan.configuration, buckets))
+        self._staged_plan: Plan | None = None
+
+    def reconfigure(self, plan: Plan) -> None:
+        """Switch plans; takes effect from the next epoch boundary.
+
+        The currently open epoch (and everything before it) keeps the old
+        configuration — tables are flushed at the boundary, so nothing
+        migrates and the swap is free.
+        """
+        missing = [q for q in self.queries.group_bys
+                   if q not in plan.configuration]
+        if missing:
+            raise ConfigurationError(
+                f"plan does not instantiate queries {missing}")
+        self._staged_plan = plan
+
+    @property
+    def configuration(self) -> Configuration:
+        return self.eras[-1].configuration
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def push(self, columns, timestamps, values=None) -> list[EpochReport]:
+        """Feed a batch; returns reports for any epochs it completed."""
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        n = timestamps.shape[0]
+        if n == 0:
+            return []
+        if timestamps[0] < self._last_time or \
+                np.any(np.diff(timestamps) < 0):
+            raise SchemaError("batches must arrive in timestamp order")
+        self._last_time = float(timestamps[-1])
+        cols = {}
+        for name in self.schema.attributes:
+            arr = np.asarray(columns[name])
+            if arr.shape != (n,):
+                raise SchemaError(f"column {name!r} length mismatch")
+            cols[name] = arr.astype(np.int64, copy=False)
+        vals = None
+        if self.value_column is not None:
+            if values is None:
+                raise SchemaError(
+                    f"batch missing values for {self.value_column!r}")
+            vals = np.asarray(values, dtype=np.float64)
+
+        if self.where is not None:
+            searchable: dict[str, np.ndarray] = dict(cols)
+            if vals is not None:
+                searchable[self.value_column] = vals
+            keep = self.where.mask(searchable)
+            cols = {name: arr[keep] for name, arr in cols.items()}
+            timestamps = timestamps[keep]
+            if vals is not None:
+                vals = vals[keep]
+            n = timestamps.shape[0]
+            self.records_seen += int(np.count_nonzero(~keep))
+            if n == 0:
+                return []
+
+        completed: list[EpochReport] = []
+        epoch_ids = np.floor(timestamps / self.epoch_seconds).astype(np.int64)
+        boundaries = np.concatenate(
+            ([0], np.flatnonzero(np.diff(epoch_ids)) + 1, [n]))
+        for start, end in zip(boundaries[:-1], boundaries[1:]):
+            epoch = int(epoch_ids[start])
+            if self._pending_epoch is not None and \
+                    epoch != self._pending_epoch:
+                completed.append(self._close_epoch())
+            self._pending_epoch = epoch
+            for name in self.schema.attributes:
+                self._pending_cols[name].append(cols[name][start:end])
+            self._pending_times.append(timestamps[start:end])
+            if vals is not None:
+                self._pending_vals.append(vals[start:end])
+        self.records_seen += int(n)
+        return completed
+
+    def push_dataset(self, dataset: Dataset) -> list[EpochReport]:
+        """Convenience: push a whole :class:`Dataset` as one batch."""
+        values = (dataset.values[self.value_column]
+                  if self.value_column else None)
+        return self.push(dataset.columns, dataset.timestamps, values)
+
+    def finish(self) -> list[EpochReport]:
+        """Flush the open epoch (end of stream)."""
+        if self._pending_epoch is None:
+            return []
+        return [self._close_epoch()]
+
+    # ------------------------------------------------------------------
+    # Epoch processing
+    # ------------------------------------------------------------------
+    def _close_epoch(self) -> EpochReport:
+        era = self.eras[-1]
+        epoch = self._pending_epoch
+        assert epoch is not None
+        times = np.concatenate(self._pending_times)
+        columns = {name: np.concatenate(chunks)
+                   for name, chunks in self._pending_cols.items()}
+        values = ({self.value_column: np.concatenate(self._pending_vals)}
+                  if self.value_column and self._pending_vals else {})
+        dataset = Dataset(self.schema, columns, times, values)
+        before_intra = era.counters.measured_intra_cost(self.params).total
+        before_flush = era.counters.measured_flush_cost(self.params).total
+        simulate(dataset, era.configuration, era.buckets,
+                 self.epoch_seconds, self.value_column, self.salt_seed,
+                 counters=era.counters, hfta=self.hfta)
+        report = EpochReport(
+            epoch, len(dataset), era.configuration,
+            era.counters.measured_intra_cost(self.params).total
+            - before_intra,
+            era.counters.measured_flush_cost(self.params).total
+            - before_flush)
+        self.epoch_reports.append(report)
+        self._pending_cols = {a: [] for a in self.schema.attributes}
+        self._pending_vals = []
+        self._pending_times = []
+        self._pending_epoch = None
+        if self.controller is not None:
+            new_plan = self.controller.epoch_completed(self, dataset)
+            if new_plan is not None:
+                self.reconfigure(new_plan)
+        if self._staged_plan is not None:
+            staged = self._staged_plan
+            self._apply_plan(staged)
+            self.reconfigurations.append((epoch + 1, staged.configuration))
+        return report
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def total_intra_cost(self) -> float:
+        return sum(r.intra_cost for r in self.epoch_reports)
+
+    def total_flush_cost(self) -> float:
+        return sum(r.flush_cost for r in self.epoch_reports)
+
+    def answers(self, query):
+        """Exact per-epoch answers for a user query (completed epochs)."""
+        return self.hfta.all_answers(query)

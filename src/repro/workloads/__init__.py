@@ -1,0 +1,48 @@
+"""Workload generators and dataset statistics (paper Section 6.1).
+
+* :mod:`~repro.workloads.universe` — group universes with prescribed
+  projection counts;
+* :mod:`~repro.workloads.synthetic` — uniform random streams;
+* :mod:`~repro.workloads.netflow` — clustered flow-structured traces (the
+  substitute for the paper's tcpdump capture);
+* :mod:`~repro.workloads.datasets` — measuring group counts and flow
+  lengths for the optimizer.
+"""
+
+from repro.workloads.universe import (
+    GroupUniverse,
+    PAPER_CHAIN,
+    make_group_universe,
+)
+from repro.workloads.synthetic import paper_synthetic_dataset, uniform_dataset
+from repro.workloads.netflow import NetflowTraceGenerator, paper_like_trace
+from repro.workloads.datasets import (
+    calibrated_flow_length,
+    flow_count,
+    mean_flow_length,
+    measure_statistics,
+)
+from repro.workloads.zipf import sample_zipf, zipf_probabilities
+from repro.workloads.io import load_csv, load_npz, save_csv, save_npz
+from repro.workloads.datasets import one_record_per_flow
+
+__all__ = [
+    "GroupUniverse",
+    "PAPER_CHAIN",
+    "make_group_universe",
+    "paper_synthetic_dataset",
+    "uniform_dataset",
+    "NetflowTraceGenerator",
+    "paper_like_trace",
+    "calibrated_flow_length",
+    "flow_count",
+    "mean_flow_length",
+    "measure_statistics",
+    "sample_zipf",
+    "zipf_probabilities",
+    "load_csv",
+    "load_npz",
+    "save_csv",
+    "save_npz",
+    "one_record_per_flow",
+]

@@ -1,0 +1,112 @@
+"""Saving and loading datasets.
+
+Generated traces are deterministic per seed, but paper-scale generation
+still costs seconds and real deployments have actual captures; this module
+round-trips :class:`~repro.gigascope.records.Dataset` through
+
+* **NPZ** (:func:`save_npz` / :func:`load_npz`) — compact binary with the
+  schema embedded, lossless;
+* **CSV** (:func:`save_csv` / :func:`load_csv`) — interoperable text with
+  a header row; the timestamp column is named ``__time``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.gigascope.records import Dataset, StreamSchema
+
+__all__ = ["save_npz", "load_npz", "save_csv", "load_csv"]
+
+_TIME_COLUMN = "__time"
+_ATTR_PREFIX = "attr:"
+_VALUE_PREFIX = "value:"
+
+
+def save_npz(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset to a compressed ``.npz`` file."""
+    arrays: dict[str, np.ndarray] = {_TIME_COLUMN: dataset.timestamps}
+    for name, column in dataset.columns.items():
+        arrays[_ATTR_PREFIX + name] = column
+    for name, column in dataset.values.items():
+        arrays[_VALUE_PREFIX + name] = column
+    arrays["__attributes"] = np.array(dataset.schema.attributes)
+    arrays["__value_columns"] = np.array(dataset.schema.value_columns,
+                                         dtype=str)
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_npz(path: str | Path) -> Dataset:
+    """Read a dataset written by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        try:
+            attributes = tuple(str(a) for a in archive["__attributes"])
+            value_columns = tuple(str(v) for v in archive["__value_columns"])
+            timestamps = archive[_TIME_COLUMN]
+        except KeyError as exc:
+            raise SchemaError(f"not a repro dataset archive: missing {exc}")
+        schema = StreamSchema(attributes, value_columns)
+        columns = {name: archive[_ATTR_PREFIX + name] for name in attributes}
+        values = {name: archive[_VALUE_PREFIX + name]
+                  for name in value_columns
+                  if _VALUE_PREFIX + name in archive}
+    return Dataset(schema, columns, timestamps, values)
+
+
+def save_csv(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset as CSV (header row; ``__time`` holds timestamps)."""
+    attr_names = list(dataset.schema.attributes)
+    value_names = [name for name in dataset.schema.value_columns
+                   if name in dataset.values]
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([_TIME_COLUMN] + attr_names + value_names)
+        time_strings = (repr(float(t)) for t in dataset.timestamps)
+        attr_cols = [dataset.columns[name] for name in attr_names]
+        value_cols = [dataset.values[name] for name in value_names]
+        for i, time_str in enumerate(time_strings):
+            row = [time_str]
+            row.extend(int(col[i]) for col in attr_cols)
+            row.extend(repr(float(col[i])) for col in value_cols)
+            writer.writerow(row)
+
+
+def load_csv(path: str | Path,
+             value_columns: tuple[str, ...] = ()) -> Dataset:
+    """Read a CSV written by :func:`save_csv` (or hand-made to match).
+
+    Columns listed in ``value_columns`` are loaded as float value columns;
+    every other non-time column becomes an integer grouping attribute.
+    """
+    with open(Path(path), newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"empty CSV file: {path}")
+        if _TIME_COLUMN not in header:
+            raise SchemaError(
+                f"CSV needs a {_TIME_COLUMN!r} column; got {header}")
+        rows = list(reader)
+    index = {name: i for i, name in enumerate(header)}
+    missing = [v for v in value_columns if v not in index]
+    if missing:
+        raise SchemaError(f"value columns {missing} not in CSV header")
+    attributes = tuple(name for name in header
+                       if name != _TIME_COLUMN and name not in value_columns)
+    schema = StreamSchema(attributes, tuple(value_columns))
+    timestamps = np.array([float(row[index[_TIME_COLUMN]]) for row in rows])
+    columns = {
+        name: np.array([int(row[index[name]]) for row in rows],
+                       dtype=np.int64)
+        for name in attributes
+    }
+    values = {
+        name: np.array([float(row[index[name]]) for row in rows])
+        for name in value_columns
+    }
+    return Dataset(schema, columns, timestamps, values)

@@ -1,0 +1,66 @@
+"""Uniform random workloads (paper Section 6.1).
+
+The paper's synthetic datasets are "1,000,000 3 and 4 dimensional tuples
+uniformly at random with the same number of groups as those encountered in
+real data": every record draws a group uniformly from a fixed universe, so
+per-projection group counts match the real trace but the stream has no
+clusteredness (``l = 1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.gigascope.records import Dataset, StreamSchema
+from repro.workloads.universe import (
+    GroupUniverse,
+    PAPER_CHAIN,
+    make_group_universe,
+)
+from repro.workloads.zipf import sample_zipf
+
+__all__ = ["uniform_dataset", "paper_synthetic_dataset"]
+
+
+def uniform_dataset(universe: GroupUniverse, n_records: int,
+                    duration: float = 62.0, seed: int = 0,
+                    zipf_exponent: float = 0.0,
+                    value_column: str | None = None,
+                    mean_value: float = 512.0) -> Dataset:
+    """Draw records i.i.d. from a group universe.
+
+    ``zipf_exponent=0`` (default) is the paper's uniform case; a positive
+    exponent skews group popularity for robustness studies. If
+    ``value_column`` names one of the schema's value columns, lognormal
+    values with the given mean are attached (e.g. packet lengths for
+    ``avg(len)`` queries).
+    """
+    if n_records < 1:
+        raise WorkloadError("n_records must be >= 1")
+    rng = np.random.default_rng(seed)
+    if zipf_exponent > 0:
+        picks = sample_zipf(rng, universe.n_groups, zipf_exponent, n_records)
+    else:
+        picks = rng.integers(0, universe.n_groups, size=n_records)
+    columns = universe.columns_for(picks)
+    timestamps = np.sort(rng.uniform(0.0, duration, size=n_records))
+    values = {}
+    if value_column is not None:
+        if value_column not in universe.schema.value_columns:
+            raise WorkloadError(
+                f"{value_column!r} is not a value column of the schema")
+        sigma = 0.5
+        raw = rng.lognormal(mean=np.log(mean_value) - sigma ** 2 / 2,
+                            sigma=sigma, size=n_records)
+        values[value_column] = np.maximum(raw, 40.0)
+    return Dataset(universe.schema, columns, timestamps, values)
+
+
+def paper_synthetic_dataset(n_records: int = 1_000_000,
+                            duration: float = 62.0,
+                            seed: int = 0) -> Dataset:
+    """The paper's 4-dimensional uniform dataset (Section 6.1 defaults)."""
+    schema = StreamSchema(("A", "B", "C", "D"))
+    universe = make_group_universe(schema, PAPER_CHAIN, seed=seed)
+    return uniform_dataset(universe, n_records, duration, seed=seed + 1)

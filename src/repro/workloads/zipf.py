@@ -1,0 +1,36 @@
+"""Zipf-skewed sampling helpers.
+
+Real traffic group popularity is skewed: a few (source, destination) pairs
+carry most flows. The workload generators use a truncated Zipf law over a
+finite group universe; exponent 0 recovers the uniform distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zipf_probabilities", "sample_zipf"]
+
+
+def zipf_probabilities(n: int, exponent: float) -> np.ndarray:
+    """Probabilities ``p_i proportional to (i + 1)^-exponent`` for i < n."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if exponent < 0:
+        raise ValueError("exponent must be >= 0")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def sample_zipf(rng: np.random.Generator, n: int, exponent: float,
+                size: int) -> np.ndarray:
+    """Draw ``size`` indices in ``[0, n)`` with truncated-Zipf popularity.
+
+    Ranks are shuffled so that popularity is not correlated with index
+    order (the universe builder orders tuples by construction history).
+    """
+    probs = zipf_probabilities(n, exponent)
+    ranked = rng.choice(n, size=size, p=probs)
+    shuffle = rng.permutation(n)
+    return shuffle[ranked]

@@ -1,0 +1,65 @@
+"""Shared fixtures: paper-calibrated statistics and small datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AttributeSet,
+    CostParameters,
+    QuerySet,
+    RelationStatistics,
+    StreamSchema,
+)
+from repro.workloads import make_group_universe, uniform_dataset
+
+
+#: Group counts in the spirit of the paper's trace (Section 6.1): nested
+#: chain 552/1846/2117/2837, other projections interpolated plausibly.
+PAPER_GROUPS = {
+    "A": 552, "B": 760, "C": 940, "D": 1120,
+    "AB": 1846, "AC": 1520, "AD": 1610, "BC": 1730, "BD": 1940, "CD": 2050,
+    "ABC": 2117, "ABD": 2260, "ACD": 2390, "BCD": 2520,
+    "ABCD": 2837,
+}
+
+
+@pytest.fixture(scope="session")
+def paper_stats() -> RelationStatistics:
+    return RelationStatistics.from_counts(PAPER_GROUPS)
+
+
+@pytest.fixture(scope="session")
+def abcd_queries() -> QuerySet:
+    return QuerySet.counts(["A", "B", "C", "D"])
+
+
+@pytest.fixture(scope="session")
+def pair_queries() -> QuerySet:
+    """The paper's real-data query set {AB, BC, BD, CD} (Section 6.3.3)."""
+    return QuerySet.counts(["AB", "BC", "BD", "CD"])
+
+
+@pytest.fixture(scope="session")
+def params() -> CostParameters:
+    return CostParameters()  # c1 = 1, c2 = 50, the paper's ratio
+
+
+@pytest.fixture(scope="session")
+def schema() -> StreamSchema:
+    return StreamSchema(("A", "B", "C", "D"))
+
+
+@pytest.fixture(scope="session")
+def small_universe(schema):
+    return make_group_universe(schema, (8, 24, 48, 90), value_pool=64,
+                               seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_universe):
+    return uniform_dataset(small_universe, 4000, duration=9.0, seed=11)
+
+
+def attrs(label: str) -> AttributeSet:
+    return AttributeSet.parse(label)

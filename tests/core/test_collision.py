@@ -1,0 +1,202 @@
+"""Tests for the collision-rate models (paper Section 4)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.collision import (
+    ClusteredModel,
+    LinearModel,
+    LookupModel,
+    PreciseModel,
+    RoughModel,
+    TruncatedPreciseModel,
+    clustered_rate,
+    collision_component,
+    fit_linear_low_region,
+    fit_piecewise,
+    precise_rate,
+    truncated_rate,
+)
+from repro.core.collision.lookup import PAPER_ALPHA, PAPER_MU
+from repro.core.collision.precise import truncation_limit
+
+GB = st.tuples(st.integers(2, 20000), st.integers(1, 5000))
+
+
+class TestRoughModel:
+    def test_equation_10(self):
+        assert RoughModel().rate(3000, 1000) == pytest.approx(1 - 1000 / 3000)
+
+    def test_zero_when_buckets_exceed_groups(self):
+        assert RoughModel().rate(500, 1000) == 0.0
+
+    def test_degenerate(self):
+        assert RoughModel().rate(0, 100) == 0.0
+        assert RoughModel().rate(100, 0) == 0.0
+
+
+class TestPreciseModel:
+    def test_closed_form_matches_full_sum(self):
+        """The closed form equals Eq. 13 summed over every k."""
+        for g, b in [(7, 7), (50, 10), (100, 120), (300, 100)]:
+            ks = np.arange(2, g + 1)
+            full = float(np.sum(collision_component(ks, g, b)))
+            assert precise_rate(g, b) == pytest.approx(full, abs=1e-12)
+
+    def test_truncated_matches_closed_form(self):
+        for g, b in [(3000, 1000), (552, 300), (2837, 700), (10000, 500)]:
+            assert truncated_rate(g, b) == pytest.approx(
+                precise_rate(g, b), rel=5e-3)
+
+    def test_paper_phi_one_anchor(self):
+        """g/b = 1 gives x ~ 0.37 (paper Sec. 4.4's phi = 1 remark)."""
+        assert precise_rate(2000, 2000) == pytest.approx(0.368, abs=0.01)
+
+    def test_single_bucket(self):
+        assert precise_rate(10, 1) == pytest.approx(0.9)
+
+    def test_single_group_never_collides(self):
+        assert precise_rate(1, 10) == 0.0
+
+    def test_truncation_limit_figure6(self):
+        """g=3000, b=1000: mu+5sigma ~ 12 (the paper's Sec 4.4 example)."""
+        assert 10 <= truncation_limit(3000, 1000, 5.0) <= 14
+
+    def test_component_bell_shape(self):
+        """Figure 6: components peak near k=4 for g=3000, b=1000."""
+        ks = np.arange(2, 21)
+        comps = collision_component(ks, 3000, 1000)
+        peak_k = int(ks[np.argmax(comps)])
+        assert peak_k in (3, 4, 5)
+        assert comps.max() == pytest.approx(0.17, abs=0.03)
+        assert collision_component(13, 3000, 1000) < 0.005
+
+    def test_component_zero_below_two(self):
+        assert collision_component(1, 100, 10) == 0.0
+        assert collision_component(0, 100, 10) == 0.0
+
+
+class TestRatioDependence:
+    def test_table1_invariance(self):
+        """Table 1: x depends (almost) only on g/b across b in [300, 3000]."""
+        paper_bounds = {0.25: 0.02, 0.5: 0.005, 1: 0.002, 2: 0.001,
+                        4: 0.001, 8: 0.001, 16: 0.001, 32: 0.001}
+        for ratio, bound in paper_bounds.items():
+            rates = [precise_rate(int(ratio * b), b)
+                     for b in range(300, 3001, 300)]
+            variation = (max(rates) - min(rates)) / max(rates)
+            assert variation <= bound * 2  # paper reports <= 1.4%
+
+    def test_monotone_in_ratio(self):
+        b = 1000
+        rates = [precise_rate(g, b) for g in range(2, 20000, 97)]
+        assert all(b2 >= a for a, b2 in zip(rates, rates[1:]))
+
+    def test_asymptote_is_one(self):
+        assert precise_rate(1_000_000, 100) > 0.999
+
+
+class TestLinearModel:
+    def test_paper_coefficients_rederived(self):
+        """Eq. 16's (0.0267, 0.354) re-derived within a few percent."""
+        alpha, mu = fit_linear_low_region()
+        assert alpha == pytest.approx(PAPER_ALPHA, abs=0.005)
+        assert mu == pytest.approx(PAPER_MU, abs=0.01)
+
+    def test_linear_default_drops_intercept(self):
+        model = LinearModel()
+        assert model.rate(100, 1000) == pytest.approx(PAPER_MU * 0.1)
+
+    def test_with_intercept(self):
+        model = LinearModel(alpha=PAPER_ALPHA)
+        assert model.rate(100, 1000) == pytest.approx(
+            PAPER_ALPHA + PAPER_MU * 0.1)
+
+    def test_clamped(self):
+        assert LinearModel().rate(10_000, 10) == 1.0
+        assert LinearModel().rate(1, 10) == 0.0
+
+    def test_tracks_precise_in_low_region(self):
+        model = LinearModel(alpha=PAPER_ALPHA)
+        for ratio in (0.2, 0.4, 0.6, 0.8, 1.0):
+            assert model.rate(ratio * 1000, 1000) == pytest.approx(
+                precise_rate(ratio * 1000, 1000), rel=0.12)
+
+
+class TestLookupModel:
+    def test_matches_precise(self):
+        model = LookupModel()
+        for g, b in [(500, 1000), (3000, 1000), (10000, 500), (2837, 300)]:
+            assert model.rate(g, b) == pytest.approx(
+                precise_rate(g, b), rel=0.02)
+
+    def test_cache_shared(self):
+        a, b = LookupModel(), LookupModel()
+        assert a._table is b._table
+
+    def test_beyond_table_clamps(self):
+        assert LookupModel(max_ratio=8.0).rate(10_000, 10) <= 1.0
+
+
+class TestPiecewiseFit:
+    def test_figure7_accuracy(self):
+        """6 intervals of degree-2 regression hit the paper's <= 5% target."""
+        fit = fit_piecewise()
+        assert fit.max_relative_error <= 0.05
+        assert fit.mean_relative_error <= 0.01  # paper: "less than 1%"
+
+    def test_evaluates_close_to_precise(self):
+        fit = fit_piecewise()
+        for ratio in (0.5, 1, 3, 10, 30, 49):
+            assert fit.rate(ratio * 1000, 1000) == pytest.approx(
+                precise_rate(ratio * 1000, 1000), rel=0.06)
+
+
+class TestClustered:
+    def test_equation_15_is_division(self):
+        base = PreciseModel()
+        assert clustered_rate(base, 3000, 1000, 10.0) == pytest.approx(
+            precise_rate(3000, 1000) / 10.0)
+
+    def test_random_is_flow_length_one(self):
+        model = ClusteredModel(flow_length=1.0)
+        assert model.rate(3000, 1000) == precise_rate(3000, 1000)
+
+    def test_rejects_sub_one_flow(self):
+        with pytest.raises(ValueError):
+            ClusteredModel(flow_length=0.5)
+        with pytest.raises(ValueError):
+            clustered_rate(PreciseModel(), 10, 10, 0.0)
+
+
+@given(GB)
+@settings(max_examples=200)
+def test_precise_rate_in_unit_interval(gb):
+    g, b = gb
+    x = precise_rate(g, b)
+    assert 0.0 <= x < 1.0
+
+
+@given(GB)
+@settings(max_examples=100)
+def test_rough_below_precise_below_one(gb):
+    """Eq. 10 underestimates Eq. 13 (it ignores occupancy variance)."""
+    g, b = gb
+    assert RoughModel().rate(g, b) <= precise_rate(g, b) + 1e-12
+
+
+@given(st.integers(2, 5000), st.integers(1, 2000), st.integers(1, 2000))
+@settings(max_examples=100)
+def test_precise_monotone_in_buckets(g, b1, b2):
+    lo, hi = min(b1, b2), max(b1, b2)
+    assert precise_rate(g, hi) <= precise_rate(g, lo) + 1e-12
+
+
+@given(GB, st.floats(1.0, 1000.0))
+@settings(max_examples=100)
+def test_clustered_bounded_by_random(gb, length):
+    g, b = gb
+    assert clustered_rate(PreciseModel(), g, b, length) <= precise_rate(g, b)

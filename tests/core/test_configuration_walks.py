@@ -1,0 +1,88 @@
+"""Property tests: random phantom add/remove walks keep forests valid."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.attributes import AttributeSet
+from repro.core.configuration import Configuration
+from repro.core.feeding_graph import enumerate_phantoms
+from repro.errors import ConfigurationError
+
+QUERIES = [AttributeSet.parse(t) for t in ("AB", "BC", "BD", "CD")]
+SINGLES = [AttributeSet.parse(t) for t in "ABCD"]
+
+
+def check_invariants(config: Configuration, queries) -> None:
+    for rel in config.relations:
+        parent = config.parent(rel)
+        if parent is None:
+            assert config.is_raw(rel)
+        else:
+            assert rel < parent
+            assert rel in config.children(parent)
+        if config.is_leaf(rel):
+            assert rel in config.queries
+        # ancestors are a strictly increasing chain
+        chain = config.ancestors(rel)
+        prev = rel
+        for ancestor in chain:
+            assert prev < ancestor
+            prev = ancestor
+    for q in queries:
+        assert q in config
+    # topological order is consistent
+    order = {rel: i for i, rel in enumerate(config.relations)}
+    for rel in config.relations:
+        parent = config.parent(rel)
+        if parent is not None:
+            assert order[parent] < order[rel]
+
+
+@given(st.sampled_from([QUERIES, SINGLES]), st.integers(0, 100_000),
+       st.integers(1, 25))
+@settings(max_examples=60, deadline=None)
+def test_random_surgery_walk(queries, seed, steps):
+    """Any sequence of valid with/without-phantom steps keeps the forest
+    valid, and notation round-trips at every step."""
+    rng = np.random.default_rng(seed)
+    candidates = enumerate_phantoms(queries)
+    config = Configuration.flat(queries)
+    for _ in range(steps):
+        instantiated = [p for p in candidates if p in config]
+        absent = [p for p in candidates if p not in config]
+        add = bool(rng.integers(0, 2)) if absent and instantiated else \
+            bool(absent)
+        try:
+            if add and absent:
+                config = config.with_phantom(
+                    absent[int(rng.integers(0, len(absent)))])
+            elif instantiated:
+                config = config.without_phantom(
+                    instantiated[int(rng.integers(0, len(instantiated)))])
+        except ConfigurationError:
+            continue  # e.g. the phantom would capture no children
+        check_invariants(config, queries)
+        assert Configuration.from_notation(config.to_notation(),
+                                           queries) == config
+
+
+@given(st.integers(0, 50_000))
+@settings(max_examples=40, deadline=None)
+def test_add_remove_is_identity(seed):
+    """Adding then immediately removing a phantom restores the forest."""
+    rng = np.random.default_rng(seed)
+    candidates = enumerate_phantoms(SINGLES)
+    config = Configuration.flat(SINGLES)
+    # Build a random starting forest first.
+    for phantom in rng.permutation(len(candidates))[:3]:
+        try:
+            config = config.with_phantom(candidates[int(phantom)])
+        except ConfigurationError:
+            pass
+    absent = [p for p in candidates if p not in config]
+    for phantom in absent:
+        try:
+            enlarged = config.with_phantom(phantom)
+        except ConfigurationError:
+            continue
+        assert enlarged.without_phantom(phantom) == config

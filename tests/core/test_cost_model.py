@@ -1,0 +1,203 @@
+"""Tests for the cost model (paper Eqs. 1-8)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.attributes import AttributeSet
+from repro.core.collision import LinearModel, PreciseModel
+from repro.core.configuration import Configuration
+from repro.core.cost_model import (
+    CostParameters,
+    collision_rates,
+    expected_occupancy,
+    flush_cost,
+    intra_epoch_cost,
+    per_record_cost,
+)
+from repro.core.statistics import RelationStatistics
+from repro.errors import AllocationError
+
+
+def A(label):
+    return AttributeSet.parse(label)
+
+
+class TestCostParameters:
+    def test_defaults_are_paper_ratio(self):
+        params = CostParameters()
+        assert params.ratio == 50.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CostParameters(probe_cost=0)
+
+
+class TestSection25Example:
+    """The motivating example: Eqs. 1-3 of the paper."""
+
+    def _stats(self):
+        return RelationStatistics.from_counts(
+            {"A": 500, "B": 500, "C": 500, "ABC": 1500})
+
+    def test_no_phantom_cost_is_eq1(self):
+        """E1 = 3 c1 + 3 x1 c2 per record."""
+        stats = self._stats()
+        params = CostParameters()
+        cfg = Configuration.flat([A("A"), A("B"), A("C")])
+        buckets = {A("A"): 1000.0, A("B"): 1000.0, A("C"): 1000.0}
+        model = LinearModel()
+        x1 = model.rate(500, 1000)
+        expected = 3 * 1.0 + 3 * x1 * 50.0
+        assert per_record_cost(cfg, stats, buckets, model, params) == \
+            pytest.approx(expected)
+
+    def test_phantom_cost_is_eq2(self):
+        """E2 = c1 + 3 x2 c1 + 3 x1' x2 c2 per record."""
+        stats = self._stats()
+        params = CostParameters()
+        cfg = Configuration.from_notation("ABC(A B C)")
+        buckets = {A("ABC"): 750.0, A("A"): 750.0, A("B"): 750.0,
+                   A("C"): 750.0}
+        model = LinearModel()
+        x2 = model.rate(1500, 750)
+        x1 = model.rate(500, 750)
+        expected = 1.0 + 3 * x2 * 1.0 + 3 * x1 * x2 * 50.0
+        assert per_record_cost(cfg, stats, buckets, model, params) == \
+            pytest.approx(expected)
+
+    def test_beneficial_phantom_lowers_cost(self):
+        """With low phantom collision rate, E2 < E1 (paper Eq. 3)."""
+        stats = self._stats()
+        params = CostParameters()
+        model = PreciseModel()
+        flat = Configuration.flat([A("A"), A("B"), A("C")])
+        tree = Configuration.from_notation("ABC(A B C)")
+        memory = 12000.0
+        flat_buckets = {rel: memory / 3 / 2 for rel in flat.relations}
+        tree_buckets = {A("ABC"): 2000.0, A("A"): 500.0, A("B"): 500.0,
+                        A("C"): 500.0}
+        e1 = per_record_cost(flat, stats, flat_buckets, model, params)
+        e2 = per_record_cost(tree, stats, tree_buckets, model, params)
+        assert e2 < e1
+
+
+class TestCollisionRates:
+    def test_clustered_divides_raw_only(self):
+        stats = RelationStatistics.from_counts(
+            {"AB": 1000, "A": 400}, {"AB": 10.0, "A": 8.0})
+        cfg = Configuration.from_notation("AB(A)", queries=[A("A")])
+        buckets = {A("AB"): 500.0, A("A"): 500.0}
+        model = PreciseModel()
+        rates = collision_rates(cfg, stats, buckets, model)
+        assert rates[A("AB")] == pytest.approx(
+            model.rate(1000, 500) / 10.0)
+        # A is fed, not raw: its recorded flow length must not apply.
+        assert rates[A("A")] == pytest.approx(model.rate(400, 500))
+
+    def test_unclustered_flag(self):
+        stats = RelationStatistics.from_counts({"A": 400}, {"A": 8.0})
+        cfg = Configuration.flat([A("A")])
+        rates = collision_rates(cfg, stats, {A("A"): 100.0}, PreciseModel(),
+                                clustered=False)
+        assert rates[A("A")] == pytest.approx(PreciseModel().rate(400, 100))
+
+    def test_missing_bucket_raises(self):
+        stats = RelationStatistics.from_counts({"A": 400})
+        cfg = Configuration.flat([A("A")])
+        with pytest.raises(AllocationError):
+            collision_rates(cfg, stats, {}, PreciseModel())
+
+    def test_nonpositive_bucket_raises(self):
+        stats = RelationStatistics.from_counts({"A": 400})
+        cfg = Configuration.flat([A("A")])
+        with pytest.raises(AllocationError):
+            collision_rates(cfg, stats, {A("A"): 0.0}, PreciseModel())
+
+
+class TestIntraEpochCost:
+    def test_coefficients_multiply_down_the_tree(self):
+        """Eq. 7's ancestor products, on a 3-level chain."""
+        cfg = Configuration.from_notation("ABC(AB(A B) C)",
+                                          queries=[A("A"), A("B"), A("C")])
+        rates = {A("ABC"): 0.5, A("AB"): 0.2, A("A"): 0.9, A("B"): 0.8,
+                 A("C"): 0.7}
+        params = CostParameters(probe_cost=1, evict_cost=10)
+        cost = intra_epoch_cost(cfg, rates, params)
+        probe = 1 + 0.5 + 0.5 + 0.5 * 0.2 + 0.5 * 0.2  # ABC AB C A B
+        evict = (0.5 * 0.2 * 0.9 + 0.5 * 0.2 * 0.8 + 0.5 * 0.7) * 10
+        assert cost.probe == pytest.approx(probe)
+        assert cost.evict == pytest.approx(evict)
+
+    def test_flat_configuration(self):
+        cfg = Configuration.flat([A("A"), A("B")])
+        rates = {A("A"): 0.3, A("B"): 0.1}
+        cost = intra_epoch_cost(cfg, rates, CostParameters())
+        assert cost.probe == pytest.approx(2.0)
+        assert cost.evict == pytest.approx((0.3 + 0.1) * 50)
+
+
+class TestOccupancy:
+    def test_small_g_is_g(self):
+        assert expected_occupancy(5, 100000) == pytest.approx(5, rel=1e-3)
+
+    def test_large_g_is_b(self):
+        assert expected_occupancy(10_000, 100) == pytest.approx(100, rel=1e-3)
+
+    def test_single_bucket(self):
+        assert expected_occupancy(10, 1) == 1.0
+
+    def test_zero(self):
+        assert expected_occupancy(0, 10) == 0.0
+
+
+class TestFlushCost:
+    def test_flat_flush_is_leaf_occupancy(self):
+        stats = RelationStatistics.from_counts({"A": 400, "B": 600})
+        cfg = Configuration.flat([A("A"), A("B")])
+        buckets = {A("A"): 100.0, A("B"): 200.0}
+        cost = flush_cost(cfg, stats, buckets, PreciseModel(),
+                          CostParameters())
+        occ = (expected_occupancy(400, 100) + expected_occupancy(600, 200))
+        assert cost.probe == 0.0
+        assert cost.evict == pytest.approx(occ * 50)
+
+    def test_two_level_flush(self):
+        stats = RelationStatistics.from_counts({"AB": 1000, "A": 400,
+                                                "B": 300})
+        cfg = Configuration.from_notation("AB(A B)")
+        buckets = {A("AB"): 500.0, A("A"): 100.0, A("B"): 100.0}
+        params = CostParameters()
+        model = PreciseModel()
+        cost = flush_cost(cfg, stats, buckets, model, params)
+        occ_ab = expected_occupancy(1000, 500)
+        # Each child receives the parent's occupancy (cost c1 each)...
+        assert cost.probe == pytest.approx(2 * occ_ab)
+        # ...and each leaf flushes its own occupancy plus what arrived.
+        evict = (expected_occupancy(400, 100) + occ_ab
+                 + expected_occupancy(300, 100) + occ_ab)
+        assert cost.evict == pytest.approx(evict * 50)
+
+    def test_deeper_phantoms_raise_flush_cost(self):
+        """Phantoms reduce intra-epoch cost but increase flush cost."""
+        stats = RelationStatistics.from_counts(
+            {"A": 500, "B": 500, "AB": 1500})
+        flat = Configuration.flat([A("A"), A("B")])
+        tree = Configuration.from_notation("AB(A B)")
+        params = CostParameters()
+        model = PreciseModel()
+        flat_cost = flush_cost(flat, stats, {A("A"): 500.0, A("B"): 500.0},
+                               model, params).total
+        tree_cost = flush_cost(
+            tree, stats,
+            {A("AB"): 600.0, A("A"): 200.0, A("B"): 200.0},
+            model, params).total
+        assert tree_cost > flat_cost
+
+
+@given(st.floats(1, 1e6), st.floats(1, 1e6))
+@settings(max_examples=200)
+def test_occupancy_bounded_by_groups_and_buckets(g, b):
+    occ = expected_occupancy(g, b)
+    assert 0 <= occ <= min(g, b) + 1e-6

@@ -1,0 +1,92 @@
+"""Unit tests for the feeding graph (paper Figure 4)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.attributes import AttributeSet
+from repro.core.feeding_graph import FeedingGraph, enumerate_phantoms
+from repro.core.queries import QuerySet
+
+
+def labels(attr_sets):
+    return sorted(a.label() for a in attr_sets)
+
+
+class TestEnumeratePhantoms:
+    def test_paper_figure4(self):
+        """Queries {AB, BC, BD, CD} yield phantoms {ABC, ABD, BCD, ABCD}."""
+        queries = [AttributeSet.parse(t) for t in ("AB", "BC", "BD", "CD")]
+        assert labels(enumerate_phantoms(queries)) == [
+            "ABC", "ABCD", "ABD", "BCD"]
+
+    def test_single_attribute_queries(self):
+        """Queries {A,B,C,D}: all 11 multi-attribute subsets are phantoms."""
+        queries = [AttributeSet.parse(t) for t in "ABCD"]
+        got = enumerate_phantoms(queries)
+        assert len(got) == 11
+        assert AttributeSet.parse("ABCD") in got
+        assert AttributeSet.parse("AC") in got
+
+    def test_nested_queries_skip_existing(self):
+        """A union equal to an existing query is not a phantom."""
+        queries = [AttributeSet.parse(t) for t in ("A", "AB")]
+        assert enumerate_phantoms(queries) == []
+
+    def test_union_closure(self):
+        """Unions of three queries appear even if no pair produces them."""
+        queries = [AttributeSet.parse(t) for t in ("AB", "CD", "EF")]
+        got = labels(enumerate_phantoms(queries))
+        assert "ABCDEF" in got
+
+    def test_deterministic_order(self):
+        queries = [AttributeSet.parse(t) for t in "ABC"]
+        a = enumerate_phantoms(queries)
+        b = enumerate_phantoms(reversed(queries))
+        assert a == b
+
+
+class TestFeedingGraph:
+    def test_nodes_and_membership(self):
+        graph = FeedingGraph(QuerySet.counts(["AB", "BC", "BD", "CD"]))
+        assert len(graph) == 8  # 4 queries + 4 phantoms
+        assert graph.is_query(AttributeSet.parse("AB"))
+        assert graph.is_phantom(AttributeSet.parse("ABCD"))
+        assert AttributeSet.parse("AD") not in graph
+
+    def test_feedable_is_strict_subsets(self):
+        graph = FeedingGraph(QuerySet.counts(["AB", "BC", "BD", "CD"]))
+        assert labels(graph.feedable(AttributeSet.parse("BCD"))) == [
+            "BC", "BD", "CD"]
+        assert labels(graph.feedable(AttributeSet.parse("ABCD"))) == [
+            "AB", "ABC", "ABD", "BC", "BCD", "BD", "CD"]
+
+    def test_feeders(self):
+        graph = FeedingGraph(QuerySet.counts(["AB", "BC", "BD", "CD"]))
+        assert labels(graph.feeders(AttributeSet.parse("BC"))) == [
+            "ABC", "ABCD", "BCD"]
+
+    def test_fed_queries(self):
+        graph = FeedingGraph(QuerySet.counts(["AB", "BC", "BD", "CD"]))
+        assert labels(graph.fed_queries(AttributeSet.parse("ABD"))) == [
+            "AB", "BD"]
+
+    def test_every_phantom_feeds_two_queries(self):
+        """Candidates are unions of >= 2 queries, so each can feed >= 2."""
+        graph = FeedingGraph(QuerySet.counts(["A", "BC", "CD", "AD"]))
+        for phantom in graph.phantoms:
+            assert len(graph.fed_queries(phantom)) >= 2
+
+
+@given(st.sets(
+    st.builds(AttributeSet,
+              st.sets(st.sampled_from("ABCDE"), min_size=1, max_size=4)),
+    min_size=1, max_size=5))
+def test_phantoms_are_strict_supersets_of_two_queries(query_sets):
+    phantoms = enumerate_phantoms(query_sets)
+    for phantom in phantoms:
+        supported = [q for q in query_sets if q < phantom]
+        assert len(supported) >= 2
+        # and each phantom is exactly the union of the queries below it
+        union = supported[0]
+        for q in supported[1:]:
+            union = union | q
+        assert union == phantom

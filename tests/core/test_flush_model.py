@@ -1,0 +1,59 @@
+"""Integration test: Eq. 8's flush prediction vs. measured flush cost.
+
+Pins the documented behaviour (docs/cost_model.md): the prediction is
+essentially exact for flat configurations and a conservative (2-3x) upper
+bound for phantom trees, where flush arrivals merge with same-group
+residents that the no-merge model counts separately.
+"""
+
+import pytest
+
+from repro import Configuration, CostParameters, QuerySet, StreamSchema
+from repro.core.collision import PreciseModel
+from repro.core.cost_model import flush_cost
+from repro.core.feeding_graph import FeedingGraph
+from repro.gigascope.engine import simulate
+from repro.workloads import make_group_universe, uniform_dataset
+from repro.workloads.datasets import measure_statistics
+
+PARAMS = CostParameters()
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema = StreamSchema(("A", "B", "C", "D"))
+    universe = make_group_universe(schema, (50, 200, 500, 1000),
+                                   value_pool=256, seed=2)
+    data = uniform_dataset(universe, 150_000, duration=10.0, seed=3)
+    queries = QuerySet.counts(["A", "B", "C", "D"], epoch_seconds=20.0)
+    stats = measure_statistics(data, FeedingGraph(queries).nodes)
+    return data, stats
+
+
+def predicted_and_measured(data, stats, notation):
+    config = Configuration.from_notation(notation)
+    buckets = {rel: max(int(3000 / len(config)), 50)
+               for rel in config.relations}
+    predicted = flush_cost(config, stats, buckets, PreciseModel(),
+                           PARAMS).total
+    result = simulate(data, config, buckets, epoch_seconds=20.0)
+    return predicted, result.flush_cost(PARAMS).total
+
+
+def test_flat_flush_prediction_is_exact(setup):
+    data, stats = setup
+    predicted, measured = predicted_and_measured(data, stats, "A B C D")
+    assert measured == pytest.approx(predicted, rel=0.05)
+
+
+@pytest.mark.parametrize("notation", [
+    "ABCD(A B C D)",
+    "ABCD(ABC(A B C) D)",
+    "ABCD(AB(A B) CD(C D))",
+])
+def test_phantom_flush_prediction_is_conservative(setup, notation):
+    """Predicted E_u upper-bounds the measurement, within a bounded factor."""
+    data, stats = setup
+    predicted, measured = predicted_and_measured(data, stats, notation)
+    assert measured <= predicted * 1.05      # a genuine upper bound
+    assert predicted <= measured * 5.0       # ... but not absurdly loose

@@ -1,0 +1,137 @@
+"""Tests for peak-load repair (paper Section 6.3.4)."""
+
+import pytest
+
+from repro.core.attributes import AttributeSet
+from repro.core.allocation import SupernodeLinear
+from repro.core.collision import LinearModel
+from repro.core.configuration import Configuration
+from repro.core.cost_model import CostParameters, flush_cost
+from repro.core.peak_load import repair, repair_shift, repair_shrink
+from repro.core.statistics import RelationStatistics
+from repro.errors import AllocationError
+
+
+def A(label):
+    return AttributeSet.parse(label)
+
+
+STATS = RelationStatistics.from_counts({
+    "A": 552, "B": 760, "C": 940, "D": 1120,
+    "AB": 1846, "BC": 1730, "BD": 1940, "CD": 2050,
+    "ABC": 2117, "BCD": 2520, "ABCD": 2837,
+})
+PARAMS = CostParameters()
+MODEL = LinearModel()
+
+
+def setup_case(memory=40_000.0, notation="(ABCD(AB BCD(BC BD CD)))"):
+    config = Configuration.from_notation(notation)
+    allocation = SupernodeLinear().allocate(config, STATS, memory, PARAMS)
+    base = flush_cost(config, STATS, allocation.buckets, MODEL, PARAMS).total
+    return config, allocation, base
+
+
+class TestShrink:
+    def test_meets_bound(self):
+        config, allocation, base = setup_case()
+        limit = 0.9 * base
+        repaired = repair_shrink(config, STATS, allocation, MODEL, PARAMS,
+                                 limit)
+        got = flush_cost(config, STATS, repaired.buckets, MODEL,
+                         PARAMS).total
+        assert got <= limit * 1.001
+
+    def test_noop_when_already_within(self):
+        config, allocation, base = setup_case()
+        repaired = repair_shrink(config, STATS, allocation, MODEL, PARAMS,
+                                 base * 2)
+        assert repaired is allocation
+
+    def test_scales_proportionally(self):
+        config, allocation, base = setup_case()
+        repaired = repair_shrink(config, STATS, allocation, MODEL, PARAMS,
+                                 0.85 * base)
+        ratios = {rel: repaired[rel] / allocation[rel]
+                  for rel in config.relations}
+        values = list(ratios.values())
+        assert max(values) - min(values) < 1e-6
+        assert values[0] < 1.0
+
+    def test_unreachable_bound_raises(self):
+        config, allocation, _ = setup_case()
+        with pytest.raises(AllocationError):
+            repair_shrink(config, STATS, allocation, MODEL, PARAMS, 1.0)
+
+
+class TestShift:
+    def test_meets_bound(self):
+        config, allocation, base = setup_case()
+        limit = 0.9 * base
+        repaired = repair_shift(config, STATS, allocation, MODEL, PARAMS,
+                                limit)
+        got = flush_cost(config, STATS, repaired.buckets, MODEL,
+                         PARAMS).total
+        assert got <= limit
+
+    def test_moves_space_from_leaves_to_phantoms(self):
+        config, allocation, base = setup_case()
+        repaired = repair_shift(config, STATS, allocation, MODEL, PARAMS,
+                                0.9 * base)
+        for leaf in config.leaves:
+            assert repaired[leaf] <= allocation[leaf] + 1e-9
+        phantom_before = sum(
+            allocation[rel] * STATS.entry_units(rel)
+            for rel in config.relations if not config.is_leaf(rel))
+        phantom_after = sum(
+            repaired[rel] * STATS.entry_units(rel)
+            for rel in config.relations if not config.is_leaf(rel))
+        assert phantom_after > phantom_before
+
+    def test_requires_phantoms(self):
+        config = Configuration.flat([A(t) for t in "ABCD"])
+        allocation = SupernodeLinear().allocate(config, STATS, 40_000.0,
+                                                PARAMS)
+        with pytest.raises(AllocationError):
+            repair_shift(config, STATS, allocation, MODEL, PARAMS, 1.0)
+
+    def test_unreachable_bound_raises(self):
+        config, allocation, _ = setup_case()
+        with pytest.raises(AllocationError):
+            repair_shift(config, STATS, allocation, MODEL, PARAMS, 1.0)
+
+
+class TestRepairDispatch:
+    def test_auto_picks_cheaper_intra_cost(self):
+        config, allocation, base = setup_case()
+        auto = repair(config, STATS, allocation, MODEL, PARAMS, 0.9 * base,
+                      method="auto")
+        got = flush_cost(config, STATS, auto.buckets, MODEL, PARAMS).total
+        assert got <= 0.9 * base * 1.001
+
+    def test_explicit_methods(self):
+        config, allocation, base = setup_case()
+        for method in ("shrink", "shift"):
+            repaired = repair(config, STATS, allocation, MODEL, PARAMS,
+                              0.92 * base, method=method)
+            got = flush_cost(config, STATS, repaired.buckets, MODEL,
+                             PARAMS).total
+            assert got <= 0.92 * base * 1.001
+
+    def test_unknown_method(self):
+        config, allocation, base = setup_case()
+        with pytest.raises(ValueError):
+            repair(config, STATS, allocation, MODEL, PARAMS, base,
+                   method="wiggle")
+
+    def test_auto_falls_back_when_shift_impossible(self):
+        config = Configuration.flat([A(t) for t in "ABCD"])
+        allocation = SupernodeLinear().allocate(config, STATS, 40_000.0,
+                                                PARAMS)
+        base = flush_cost(config, STATS, allocation.buckets, MODEL,
+                          PARAMS).total
+        repaired = repair(config, STATS, allocation, MODEL, PARAMS,
+                          0.8 * base, method="auto")
+        got = flush_cost(config, STATS, repaired.buckets, MODEL,
+                         PARAMS).total
+        assert got <= 0.8 * base * 1.001

@@ -1,0 +1,136 @@
+"""Tests for the streaming sketches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.attributes import AttributeSet
+from repro.core.sketches import (
+    KMVDistinctCounter,
+    RunLengthEstimator,
+    StreamStatisticsCollector,
+)
+from repro.errors import StatisticsError
+
+
+class TestKMV:
+    def test_exact_below_k(self):
+        counter = KMVDistinctCounter(k=64)
+        counter.update(np.array([1, 2, 3, 2, 1], dtype=np.uint64))
+        assert counter.estimate() == 3.0
+
+    def test_duplicates_across_batches(self):
+        counter = KMVDistinctCounter(k=64)
+        counter.update(np.arange(10, dtype=np.uint64))
+        counter.update(np.arange(10, dtype=np.uint64))
+        assert counter.estimate() == 10.0
+
+    def test_estimate_accuracy_when_saturated(self):
+        rng = np.random.default_rng(0)
+        true_distinct = 50_000
+        counter = KMVDistinctCounter(k=512)
+        keys = rng.integers(0, true_distinct, size=200_000).astype(np.uint64)
+        counter.update(keys)
+        realized = np.unique(keys).size
+        assert counter.estimate() == pytest.approx(realized, rel=0.15)
+
+    def test_merge_equals_union(self):
+        rng = np.random.default_rng(1)
+        a = KMVDistinctCounter(k=128)
+        b = KMVDistinctCounter(k=128)
+        left = rng.integers(0, 5000, 20_000).astype(np.uint64)
+        right = rng.integers(2500, 7500, 20_000).astype(np.uint64)
+        a.update(left)
+        b.update(right)
+        a.merge(b)
+        combined = KMVDistinctCounter(k=128)
+        combined.update(np.concatenate([left, right]))
+        assert a.estimate() == pytest.approx(combined.estimate())
+
+    def test_merge_requires_same_parameters(self):
+        with pytest.raises(StatisticsError):
+            KMVDistinctCounter(k=64).merge(KMVDistinctCounter(k=128))
+        with pytest.raises(StatisticsError):
+            KMVDistinctCounter(salt=1).merge(KMVDistinctCounter(salt=2))
+
+    def test_rejects_tiny_k(self):
+        with pytest.raises(StatisticsError):
+            KMVDistinctCounter(k=2)
+
+    def test_empty_update(self):
+        counter = KMVDistinctCounter()
+        counter.update(np.array([], dtype=np.uint64))
+        assert counter.estimate() == 0.0
+
+
+class TestRunLength:
+    def test_single_batch(self):
+        est = RunLengthEstimator()
+        est.update(np.array([1, 1, 1, 2, 2, 3]))
+        assert est.estimate() == 2.0  # 6 records / 3 runs
+
+    def test_runs_spanning_batches(self):
+        est = RunLengthEstimator()
+        est.update(np.array([1, 1]))
+        est.update(np.array([1, 2]))  # the run of 1s continues
+        assert est.estimate() == pytest.approx(4 / 2)
+
+    def test_new_run_at_batch_boundary(self):
+        est = RunLengthEstimator()
+        est.update(np.array([1, 1]))
+        est.update(np.array([2, 2]))
+        assert est.estimate() == pytest.approx(4 / 2)
+
+    def test_empty(self):
+        est = RunLengthEstimator()
+        assert est.estimate() == 1.0
+        est.update(np.array([]))
+        assert est.estimate() == 1.0
+
+
+class TestCollector:
+    def _collector(self, **kwargs):
+        rels = [AttributeSet.parse(t) for t in ("A", "B", "AB")]
+        return StreamStatisticsCollector(rels, **kwargs)
+
+    def test_statistics_snapshot(self):
+        collector = self._collector(k=64)
+        rng = np.random.default_rng(2)
+        collector.observe({"A": rng.integers(0, 10, 500),
+                           "B": rng.integers(0, 5, 500)})
+        stats = collector.statistics()
+        assert stats.group_count(AttributeSet.parse("A")) == 10
+        assert stats.group_count(AttributeSet.parse("B")) == 5
+        assert stats.group_count(AttributeSet.parse("AB")) <= 50
+
+    def test_accumulates_across_batches(self):
+        collector = self._collector(k=64)
+        collector.observe({"A": np.arange(5), "B": np.zeros(5, dtype=int)})
+        collector.observe({"A": np.arange(5, 10),
+                           "B": np.zeros(5, dtype=int)})
+        assert collector.group_estimate(AttributeSet.parse("A")) == 10
+        assert collector.records_seen == 10
+
+    def test_flow_tracking(self):
+        collector = self._collector(k=64, track_flows=True)
+        collector.observe({"A": np.array([1, 1, 1, 1]),
+                           "B": np.array([7, 7, 8, 8])})
+        stats = collector.statistics()
+        assert stats.flow_length(AttributeSet.parse("A")) == 4.0
+        assert stats.flow_length(AttributeSet.parse("B")) == 2.0
+
+    def test_requires_relations(self):
+        with pytest.raises(StatisticsError):
+            StreamStatisticsCollector([])
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=300),
+       st.integers(1, 5))
+@settings(max_examples=50)
+def test_kmv_exact_for_small_cardinalities(values, n_batches):
+    """With k above the true cardinality, KMV is exact."""
+    counter = KMVDistinctCounter(k=64)
+    arr = np.array(values, dtype=np.uint64)
+    for chunk in np.array_split(arr, n_batches):
+        counter.update(chunk)
+    assert counter.estimate() == len(set(values))

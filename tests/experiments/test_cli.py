@@ -1,0 +1,36 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_full(self):
+        args = build_parser().parse_args(["run", "fig13", "--full"])
+        assert args.experiment == "fig13" and args.full
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "tab2" in out and "timing" in out
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "probability of collision" in out
+        assert "finished in" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

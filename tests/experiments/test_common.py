@@ -1,0 +1,57 @@
+"""Tests for the experiment scaffolding."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    netflow_stream,
+    paper_params,
+    record_count,
+    synthetic_stream,
+)
+
+
+class TestSeries:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Series("bad", (1, 2), (1.0,))
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            "figX", "demo", "x", "y",
+            [Series("a", (1, 2), (0.5, 0.25)),
+             Series("b", (1, 3), (10.0, 20.0))],
+            notes=["hello"])
+
+    def test_render_contains_everything(self):
+        text = self._result().render()
+        assert "figX" in text and "demo" in text
+        assert "a" in text and "b" in text
+        assert "note: hello" in text
+        # x=3 exists only in series b; series a shows '-'
+        lines = [l for l in text.splitlines() if l.strip().startswith("3")]
+        assert lines and "-" in lines[0]
+
+    def test_series_by_name(self):
+        result = self._result()
+        assert result.series_by_name("a").y == (0.5, 0.25)
+        with pytest.raises(KeyError):
+            result.series_by_name("zzz")
+
+
+class TestStreams:
+    def test_record_count_scaling(self):
+        assert record_count(False, 1_000_000) == 200_000
+        assert record_count(True, 1_000_000) == 1_000_000
+        assert record_count(False, 50_000) == 50_000
+
+    def test_streams_are_cached(self):
+        assert synthetic_stream(5000) is synthetic_stream(5000)
+        assert netflow_stream(5000) is netflow_stream(5000)
+        assert synthetic_stream(5000) is not synthetic_stream(5000, seed=1)
+
+    def test_paper_params(self):
+        assert paper_params().ratio == 50.0

@@ -1,0 +1,75 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.plotting import ascii_chart, render_with_chart
+
+
+def grid_count(chart, marker):
+    """Marker occurrences inside the plotting grid (not the legend)."""
+    return sum(line.split("|", 1)[1].count(marker)
+               for line in chart.splitlines() if "|" in line)
+
+
+def sample_series():
+    return [
+        Series("alpha", (0, 1, 2, 3), (1.0, 2.0, 4.0, 8.0)),
+        Series("beta", (0, 1, 2, 3), (8.0, 4.0, 2.0, 1.0)),
+    ]
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(sample_series())
+        assert "o alpha" in chart and "x beta" in chart
+        assert grid_count(chart, "o") >= 4  # all alpha points plotted
+
+    def test_axis_labels(self):
+        chart = ascii_chart(sample_series(), x_label="M", y_label="cost")
+        assert "M" in chart and "cost" in chart
+
+    def test_extreme_points_on_grid_edges(self):
+        chart = ascii_chart(sample_series(), width=40, height=10)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        # max value (8.0) lands on the first grid row; min on the last.
+        assert any(m in rows[0] for m in "ox")
+        assert any(m in rows[-1] for m in "ox")
+
+    def test_none_values_skipped(self):
+        chart = ascii_chart([Series("s", (0, 1, 2), (1.0, None, 3.0))])
+        assert grid_count(chart, "o") == 2
+
+    def test_log_scale_drops_nonpositive(self):
+        chart = ascii_chart([Series("s", (0, 1, 2), (0.0, 10.0, 100.0))],
+                            log_y=True)
+        assert "log scale" in chart
+        assert grid_count(chart, "o") == 2
+
+    def test_empty(self):
+        assert "no data" in ascii_chart([Series("s", (), ())])
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart([Series("s", (1, 2, 3), (5.0, 5.0, 5.0))])
+        assert grid_count(chart, "o") >= 1
+
+    def test_single_point(self):
+        chart = ascii_chart([Series("s", (1,), (2.0,))])
+        assert "o" in chart
+
+
+class TestRenderWithChart:
+    def test_combines_table_and_chart(self):
+        result = ExperimentResult("figX", "demo", "x", "y", sample_series())
+        text = render_with_chart(result)
+        assert "== figX" in text  # the table part
+        assert "o alpha" in text  # the chart part
+
+
+class TestCliPlot(object):
+    def test_cli_plot_flag(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["run", "fig6", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "probability of collision" in out
+        assert "|" in out  # chart axis present

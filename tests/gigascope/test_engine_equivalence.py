@@ -1,0 +1,169 @@
+"""The load-bearing integration tests of the substrate.
+
+Two invariants (DESIGN.md Section 7):
+
+1. **Engine equivalence** — the vectorized engine and the sequential
+   reference produce identical per-relation counters and identical HFTA
+   contents for any configuration and any data.
+2. **Aggregation correctness** — for any configuration, the per-(epoch,
+   group) totals delivered to the HFTA equal the exact group-by answer;
+   phantoms change cost, never results.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.attributes import AttributeSet
+from repro.core.configuration import Configuration
+from repro.core.queries import AggregationQuery
+from repro.gigascope.engine import simulate
+from repro.gigascope.lfta import run_reference
+from repro.gigascope.records import Dataset, StreamSchema
+
+SCHEMA = StreamSchema(("A", "B", "C"), value_columns=("len",))
+
+CONFIGS = [
+    "A B C",
+    "AB(A B) C",
+    "ABC(A B C)",
+    "ABC(AB(A B) C)",
+    "ABC(AC(A C) B)",
+    "AB(A B) AC(C)",  # forest with two raws; AC feeds only C here
+]
+
+
+def random_dataset(n, seed, domain=4, duration=5.0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        SCHEMA,
+        {name: rng.integers(0, domain, n) for name in SCHEMA.attributes},
+        np.sort(rng.uniform(0, duration, n)),
+        {"len": rng.uniform(40, 1500, n)},
+    )
+
+
+def clustered_dataset(n, seed, domain=4, run_length=6, duration=5.0):
+    rng = np.random.default_rng(seed)
+    n_runs = max(1, n // run_length)
+    lengths = rng.integers(1, 2 * run_length, n_runs)
+    cols = {name: np.repeat(rng.integers(0, domain, n_runs), lengths)[:n]
+            for name in SCHEMA.attributes}
+    m = len(next(iter(cols.values())))
+    return Dataset(SCHEMA, cols, np.sort(rng.uniform(0, duration, m)),
+                   {"len": rng.uniform(40, 1500, m)})
+
+
+def exact_groupby(dataset, attrs, epoch_seconds):
+    """Ground-truth (epoch, group) -> (count, value_sum)."""
+    out = defaultdict(lambda: [0, 0.0])
+    epochs = np.floor(dataset.timestamps / epoch_seconds).astype(int)
+    values = dataset.values.get("len")
+    for i in range(len(dataset)):
+        group = tuple(int(dataset.columns[a][i]) for a in attrs)
+        entry = out[(int(epochs[i]), group)]
+        entry[0] += 1
+        if values is not None:
+            entry[1] += float(values[i])
+    return out
+
+
+def assert_equivalent(dataset, config, buckets, epoch_seconds,
+                      value_column=None):
+    vec = simulate(dataset, config, buckets, epoch_seconds, value_column)
+    ref = run_reference(dataset, config, buckets, epoch_seconds,
+                        value_column)
+    for rel in config.relations:
+        a = vec.counters.counters(rel)
+        b = ref.counters.counters(rel)
+        assert (a.arrivals_intra, a.arrivals_flush,
+                a.evictions_intra, a.evictions_flush) == \
+               (b.arrivals_intra, b.arrivals_flush,
+                b.evictions_intra, b.evictions_flush), f"counters differ at {rel}"
+    assert vec.hfta.evictions_received == ref.hfta.evictions_received
+    for leaf in config.leaves:
+        for epoch in vec.hfta.epochs(leaf):
+            assert vec.hfta.totals(leaf, epoch) == \
+                ref.hfta.totals(leaf, epoch)
+    return vec
+
+
+@pytest.mark.parametrize("notation", CONFIGS)
+@pytest.mark.parametrize("maker", [random_dataset, clustered_dataset],
+                         ids=["random", "clustered"])
+def test_engine_matches_reference(notation, maker):
+    dataset = maker(1500, seed=hash(notation) % 2**16)
+    config = Configuration.from_notation(notation)
+    buckets = {rel: 3 + 2 * i for i, rel in enumerate(config.relations)}
+    assert_equivalent(dataset, config, buckets, epoch_seconds=2.0,
+                      value_column="len")
+
+
+@pytest.mark.parametrize("notation", CONFIGS)
+def test_hfta_answers_are_exact(notation):
+    """Phantoms and tiny tables never change the final answers."""
+    dataset = random_dataset(2000, seed=3, domain=5)
+    config = Configuration.from_notation(notation)
+    buckets = {rel: 2 for rel in config.relations}  # brutal collision rates
+    result = simulate(dataset, config, buckets, epoch_seconds=2.0,
+                      value_column="len")
+    for leaf in config.leaves:
+        exact = exact_groupby(dataset, leaf, 2.0)
+        got = {}
+        for epoch in result.hfta.epochs(leaf):
+            for group, agg in result.hfta.totals(leaf, epoch).items():
+                got[(epoch, group)] = (agg.count, agg.value_sum)
+        assert {k: v[0] for k, v in got.items()} == \
+            {k: v[0] for k, v in exact.items()}
+        for key, (count, vsum) in got.items():
+            assert vsum == pytest.approx(exact[key][1])
+
+
+@given(st.integers(0, 10_000), st.integers(1, 3),
+       st.sampled_from(CONFIGS), st.integers(2, 9))
+@settings(max_examples=25, deadline=None)
+def test_equivalence_property(seed, n_epochs, notation, domain):
+    dataset = random_dataset(400, seed=seed, domain=domain,
+                             duration=float(n_epochs))
+    config = Configuration.from_notation(notation)
+    rng = np.random.default_rng(seed + 1)
+    buckets = {rel: int(rng.integers(1, 12)) for rel in config.relations}
+    assert_equivalent(dataset, config, buckets, epoch_seconds=1.0)
+
+
+def test_weights_conserved_to_hfta():
+    """Every record is counted exactly once at each leaf."""
+    dataset = random_dataset(3000, seed=5)
+    config = Configuration.from_notation("ABC(AB(A B) C)")
+    buckets = {rel: 4 for rel in config.relations}
+    result = simulate(dataset, config, buckets, epoch_seconds=1.0)
+    for leaf in config.leaves:
+        total = sum(agg.count
+                    for epoch in result.hfta.epochs(leaf)
+                    for agg in result.hfta.totals(leaf, epoch).values())
+        assert total == len(dataset)
+
+
+def test_empty_epochs_are_skipped():
+    rng = np.random.default_rng(0)
+    dataset = Dataset(
+        SCHEMA,
+        {name: rng.integers(0, 3, 10) for name in SCHEMA.attributes},
+        np.concatenate([np.linspace(0, 0.5, 5),
+                        np.linspace(10.0, 10.5, 5)]),
+        {"len": rng.uniform(40, 1500, 10)},
+    )
+    config = Configuration.from_notation("AB(A B)")
+    result = simulate(dataset, config, {rel: 4 for rel in config.relations},
+                      epoch_seconds=1.0)
+    assert result.n_epochs == 2
+
+
+def test_single_bucket_tables():
+    dataset = random_dataset(500, seed=9)
+    config = Configuration.from_notation("ABC(A B C)")
+    assert_equivalent(dataset, config,
+                      {rel: 1 for rel in config.relations},
+                      epoch_seconds=2.0)

@@ -1,0 +1,105 @@
+"""Tests for the sequential direct-mapped hash table (paper Section 2.2)."""
+
+import pytest
+
+from repro.gigascope.hash_table import DirectMappedTable
+
+
+class TestInsertSemantics:
+    def test_new_group_occupies_bucket(self):
+        table = DirectMappedTable(buckets=8, salt=1)
+        assert table.insert((5,)) is None
+        assert len(table) == 1
+
+    def test_same_group_increments(self):
+        table = DirectMappedTable(buckets=8, salt=1)
+        table.insert((5,))
+        assert table.insert((5,)) is None
+        flushed = list(table.flush())
+        assert flushed[0].count == 2
+
+    def test_collision_evicts_resident(self):
+        table = DirectMappedTable(buckets=1, salt=1)
+        table.insert((5,), count=3)
+        evicted = table.insert((6,))
+        assert evicted is not None
+        assert evicted.group == (5,) and evicted.count == 3
+        assert evicted.by_collision
+
+    def test_weighted_insert_accumulates(self):
+        table = DirectMappedTable(buckets=4, salt=1)
+        table.insert((5,), count=10, value_sum=2.5)
+        table.insert((5,), count=7, value_sum=1.5)
+        flushed = list(table.flush())
+        assert flushed[0].count == 17
+        assert flushed[0].value_sum == pytest.approx(4.0)
+
+    def test_paper_stream_example(self):
+        """Section 2.2's worked example: stream 2,24,2,2,3,17,3,4 mod-10.
+
+        We emulate the mod-10 hash by a table with enough buckets that the
+        five distinct values map to distinct buckets except 24 vs 4 — here
+        we simply check counting semantics on the same arrival pattern.
+        """
+        table = DirectMappedTable(buckets=64, salt=0)
+        evictions = [table.insert((v,)) for v in (2, 24, 2, 2, 3, 17, 3)]
+        collisions = [e for e in evictions if e is not None]
+        # With 64 buckets the five distinct groups are (very likely) spread
+        # out; the counts must match the example's hash-table state.
+        if not collisions:
+            state = {e.group[0]: e.count for e in table.flush()}
+            assert state == {2: 3, 24: 1, 3: 2, 17: 1}
+
+
+class TestFlush:
+    def test_flush_empties(self):
+        table = DirectMappedTable(buckets=8, salt=1)
+        evicted = 0
+        for v in range(5):
+            e = table.insert((v,))
+            if e is not None:
+                evicted += e.count
+        flushed = list(table.flush())
+        assert evicted + sum(e.count for e in flushed) == 5
+        assert len(table) == 0
+        assert list(table.flush()) == []
+
+    def test_flush_in_bucket_order(self):
+        table = DirectMappedTable(buckets=32, salt=1)
+        for v in range(10):
+            table.insert((v,))
+        buckets = [e.bucket for e in table.flush()]
+        assert buckets == sorted(buckets)
+
+    def test_flush_not_by_collision(self):
+        table = DirectMappedTable(buckets=8, salt=1)
+        table.insert((1,))
+        assert all(not e.by_collision for e in table.flush())
+
+
+class TestCounters:
+    def test_probe_and_collision_counts(self):
+        table = DirectMappedTable(buckets=1, salt=1)
+        table.insert((1,))
+        table.insert((2,))
+        table.insert((2,))
+        assert table.probes == 3
+        assert table.collisions == 1
+
+    def test_rejects_zero_buckets(self):
+        with pytest.raises(ValueError):
+            DirectMappedTable(buckets=0)
+
+
+class TestConservation:
+    def test_counts_conserved_through_evictions(self):
+        """Sum of evicted + resident counts equals inserted records."""
+        table = DirectMappedTable(buckets=3, salt=9)
+        total_out = 0
+        n = 500
+        for v in range(n):
+            evicted = table.insert((v % 17,))
+            if evicted is not None:
+                total_out += evicted.count
+        total_out += sum(e.count for e in table.flush())
+        assert total_out == n

@@ -1,0 +1,121 @@
+"""Tests for hashing: group packing and bucket placement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gigascope.hashing import (
+    bucket_indices,
+    bucket_of_values,
+    pack_tuples,
+    relation_salt,
+    splitmix64,
+)
+
+COLUMN = hnp.arrays(np.int64, st.integers(1, 200),
+                    elements=st.integers(-2**31, 2**31 - 1))
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_scalar_and_vector_agree(self):
+        xs = np.array([0, 1, 2, 97], dtype=np.uint64)
+        vec = splitmix64(xs)
+        for i, x in enumerate(xs):
+            assert vec[i] == splitmix64(int(x))
+
+    def test_spreads_consecutive_inputs(self):
+        out = splitmix64(np.arange(1000, dtype=np.uint64))
+        assert np.unique(out).size == 1000
+
+
+class TestBucketPlacement:
+    def test_scalar_matches_vectorized(self):
+        cols = [np.array([5, 6, 7]), np.array([1, 1, 2])]
+        vec = bucket_indices(cols, salt=42, buckets=13)
+        for i in range(3):
+            assert vec[i] == bucket_of_values(
+                (int(cols[0][i]), int(cols[1][i])), 42, 13)
+
+    def test_in_range(self):
+        cols = [np.arange(100)]
+        got = bucket_indices(cols, salt=7, buckets=10)
+        assert got.min() >= 0 and got.max() < 10
+
+    def test_salt_changes_placement(self):
+        cols = [np.arange(200)]
+        a = bucket_indices(cols, salt=1, buckets=97)
+        b = bucket_indices(cols, salt=2, buckets=97)
+        assert not np.array_equal(a, b)
+
+    def test_roughly_uniform(self):
+        cols = [np.arange(100_000)]
+        got = bucket_indices(cols, salt=3, buckets=10)
+        counts = np.bincount(got, minlength=10)
+        assert counts.min() > 0.9 * 10_000 and counts.max() < 1.1 * 10_000
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            bucket_indices([np.array([1])], 0, 0)
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(ValueError):
+            bucket_indices([], 0, 10)
+
+
+class TestPackTuples:
+    def test_exact_identity(self):
+        a = np.array([1, 1, 2, 2, 1])
+        b = np.array([9, 9, 9, 8, 9])
+        codes = pack_tuples([a, b])
+        assert codes[0] == codes[1] == codes[4]
+        assert codes[2] != codes[3]
+        assert codes[0] != codes[2]
+
+    def test_handles_huge_values(self):
+        a = np.array([2**62, 2**62, -2**62], dtype=np.int64)
+        b = np.array([2**61, 2**61 - 1, 2**61], dtype=np.int64)
+        codes = pack_tuples([a, b])
+        assert codes[0] != codes[1] and codes[0] != codes[2]
+
+    def test_many_columns_refactorize(self):
+        rng = np.random.default_rng(0)
+        cols = [rng.integers(0, 10**9, 500) for _ in range(12)]
+        codes = pack_tuples(cols)
+        # Distinct rows get distinct codes.
+        rows = {tuple(int(c[i]) for c in cols) for i in range(500)}
+        assert np.unique(codes).size == len(rows)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            pack_tuples([])
+
+
+class TestRelationSalt:
+    def test_stable(self):
+        assert relation_salt("ABCD") == relation_salt("ABCD")
+
+    def test_label_sensitivity(self):
+        assert relation_salt("AB") != relation_salt("BA")
+
+    def test_seed_sensitivity(self):
+        assert relation_salt("AB", 0) != relation_salt("AB", 1)
+
+
+@given(COLUMN, COLUMN)
+@settings(max_examples=50)
+def test_pack_tuples_is_an_exact_partition(a, b):
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    codes = pack_tuples([a, b])
+    seen: dict[tuple[int, int], int] = {}
+    for i in range(n):
+        key = (int(a[i]), int(b[i]))
+        if key in seen:
+            assert codes[i] == seen[key]
+        else:
+            assert codes[i] not in set(seen.values())
+            seen[key] = int(codes[i])

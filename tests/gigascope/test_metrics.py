@@ -1,0 +1,86 @@
+"""Unit tests for cost counters and simulation results."""
+
+import pytest
+
+from repro.core.attributes import AttributeSet
+from repro.core.configuration import Configuration
+from repro.core.cost_model import CostParameters
+from repro.gigascope.hfta import HFTA
+from repro.gigascope.metrics import (
+    CostCounters,
+    RelationCounters,
+    SimulationResult,
+)
+
+
+def A(label):
+    return AttributeSet.parse(label)
+
+
+class TestRelationCounters:
+    def test_totals(self):
+        c = RelationCounters(arrivals_intra=10, arrivals_flush=2,
+                             evictions_intra=3, evictions_flush=4)
+        assert c.arrivals == 12
+        assert c.evictions == 7
+
+    def test_merge(self):
+        a = RelationCounters(1, 2, 3, 4)
+        b = RelationCounters(10, 20, 30, 40)
+        a.merge(b)
+        assert (a.arrivals_intra, a.arrivals_flush,
+                a.evictions_intra, a.evictions_flush) == (11, 22, 33, 44)
+
+
+class TestCostCounters:
+    def _counters(self):
+        config = Configuration.from_notation("AB(A B)")
+        counters = CostCounters(config)
+        counters.counters(A("AB")).merge(RelationCounters(100, 0, 10, 20))
+        counters.counters(A("A")).merge(RelationCounters(10, 20, 5, 8))
+        counters.counters(A("B")).merge(RelationCounters(10, 20, 2, 9))
+        return counters
+
+    def test_intra_cost_counts_leaf_evictions_only(self):
+        counters = self._counters()
+        params = CostParameters(1.0, 50.0)
+        cost = counters.measured_intra_cost(params)
+        # probes: all intra arrivals; evictions: only A and B (leaves).
+        assert cost.probe == 120.0
+        assert cost.evict == (5 + 2) * 50.0
+
+    def test_flush_cost_excludes_raw_arrivals(self):
+        counters = self._counters()
+        params = CostParameters(1.0, 50.0)
+        cost = counters.measured_flush_cost(params)
+        assert cost.probe == 40.0  # A and B flush arrivals; AB is raw
+        assert cost.evict == (8 + 9) * 50.0
+
+    def test_total(self):
+        counters = self._counters()
+        params = CostParameters()
+        assert counters.measured_total_cost(params) == pytest.approx(
+            counters.measured_intra_cost(params).total
+            + counters.measured_flush_cost(params).total)
+
+    def test_lazy_counter_creation(self):
+        config = Configuration.flat([A("A")])
+        counters = CostCounters(config)
+        assert counters.counters(A("A")).arrivals == 0
+
+
+class TestSimulationResult:
+    def test_per_record_cost(self):
+        config = Configuration.flat([A("A")])
+        counters = CostCounters(config)
+        counters.counters(A("A")).merge(RelationCounters(100, 0, 10, 0))
+        result = SimulationResult(counters, HFTA(), n_records=100,
+                                  n_epochs=1)
+        params = CostParameters(1.0, 50.0)
+        assert result.per_record_cost(params) == pytest.approx(
+            (100 + 10 * 50) / 100)
+
+    def test_empty_stream(self):
+        config = Configuration.flat([A("A")])
+        result = SimulationResult(CostCounters(config), HFTA(), 0, 0)
+        assert result.per_record_cost(CostParameters()) == 0.0

@@ -1,0 +1,197 @@
+"""Tests for the incremental runtime and the adaptive controller."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AttributeSet,
+    Configuration,
+    CostParameters,
+    QuerySet,
+    StreamSchema,
+    StreamSystem,
+    plan,
+)
+from repro.core.adaptive import AdaptiveController
+from repro.core.feeding_graph import FeedingGraph
+from repro.errors import ConfigurationError, SchemaError
+from repro.gigascope.online import LiveStreamSystem
+from repro.gigascope.records import Dataset
+from repro.workloads import make_group_universe, measure_statistics, uniform_dataset
+
+SCHEMA = StreamSchema(("A", "B", "C", "D"))
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return make_group_universe(SCHEMA, (8, 24, 48, 90), value_pool=64,
+                               seed=7)
+
+
+@pytest.fixture(scope="module")
+def dataset(universe):
+    return uniform_dataset(universe, 6000, duration=9.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return QuerySet.counts(["AB", "BC", "CD"], epoch_seconds=2.0)
+
+
+@pytest.fixture(scope="module")
+def base_plan(dataset, queries):
+    stats = measure_statistics(dataset, FeedingGraph(queries).nodes)
+    return plan(queries, stats, memory=800)
+
+
+def batches(dataset, sizes):
+    start = 0
+    for size in sizes:
+        end = min(start + size, len(dataset))
+        yield (
+            {a: dataset.columns[a][start:end] for a in SCHEMA.attributes},
+            dataset.timestamps[start:end],
+        )
+        start = end
+    if start < len(dataset):
+        yield (
+            {a: dataset.columns[a][start:] for a in SCHEMA.attributes},
+            dataset.timestamps[start:],
+        )
+
+
+class TestLiveStreamSystem:
+    def test_matches_batch_system_exactly(self, dataset, queries,
+                                          base_plan):
+        """Incremental execution == one-shot execution, any batching."""
+        batch_report = StreamSystem.from_plan(dataset, queries,
+                                              base_plan).run()
+        live = LiveStreamSystem(SCHEMA, queries, base_plan)
+        rng = np.random.default_rng(0)
+        sizes = rng.integers(1, 700, size=40).tolist()
+        for cols, times in batches(dataset, sizes):
+            live.push(cols, times)
+        live.finish()
+        assert live.total_intra_cost() == \
+            batch_report.intra_cost.total
+        assert live.total_flush_cost() == \
+            batch_report.flush_cost.total
+        for q in queries:
+            assert live.answers(q) == batch_report.answers(q)
+
+    def test_epoch_reports_cover_stream(self, dataset, queries, base_plan):
+        live = LiveStreamSystem(SCHEMA, queries, base_plan)
+        live.push_dataset(dataset)
+        live.finish()
+        assert sum(r.records for r in live.epoch_reports) == len(dataset)
+        epochs = [r.epoch for r in live.epoch_reports]
+        assert epochs == sorted(epochs)
+
+    def test_rejects_out_of_order_batches(self, queries, base_plan):
+        live = LiveStreamSystem(SCHEMA, queries, base_plan)
+        cols = {a: np.array([1]) for a in SCHEMA.attributes}
+        live.push(cols, np.array([5.0]))
+        with pytest.raises(SchemaError):
+            live.push(cols, np.array([4.0]))
+
+    def test_reconfigure_takes_effect_next_epoch(self, dataset, queries,
+                                                 base_plan):
+        stats = measure_statistics(dataset, FeedingGraph(queries).nodes)
+        other_plan = plan(queries, stats, memory=800, algorithm="none")
+        live = LiveStreamSystem(SCHEMA, queries, base_plan)
+        # Feed the first epoch's worth, then reconfigure mid-epoch 1.
+        half = len(dataset) // 2
+        live.push_dataset(dataset.head(half))
+        live.reconfigure(other_plan)
+        cols = {a: dataset.columns[a][half:] for a in SCHEMA.attributes}
+        live.push(cols, dataset.timestamps[half:])
+        live.finish()
+        # The open epoch at reconfigure time kept the old configuration.
+        flip = [r.epoch for r in live.epoch_reports
+                if r.configuration == other_plan.configuration]
+        kept = [r.epoch for r in live.epoch_reports
+                if r.configuration == base_plan.configuration]
+        assert flip and kept
+        assert min(flip) > max(kept)
+        assert live.reconfigurations
+
+    def test_reconfigure_answers_still_exact(self, dataset, queries,
+                                             base_plan):
+        stats = measure_statistics(dataset, FeedingGraph(queries).nodes)
+        other_plan = plan(queries, stats, memory=800, algorithm="none")
+        live = LiveStreamSystem(SCHEMA, queries, base_plan)
+        live.push_dataset(dataset.head(2000))
+        live.reconfigure(other_plan)
+        cols = {a: dataset.columns[a][2000:] for a in SCHEMA.attributes}
+        live.push(cols, dataset.timestamps[2000:])
+        live.finish()
+        reference = StreamSystem.from_plan(dataset, queries,
+                                           base_plan).run()
+        for q in queries:
+            assert live.answers(q) == reference.answers(q)
+
+    def test_rejects_plan_missing_queries(self, queries, base_plan):
+        bad = Configuration.flat([AttributeSet.parse("AB")])
+        with pytest.raises(ConfigurationError):
+            LiveStreamSystem(SCHEMA, queries, base_plan).reconfigure(
+                plan_with_config(base_plan, bad))
+
+
+def plan_with_config(base_plan, config):
+    from dataclasses import replace
+    from repro.core.allocation import Allocation
+    return replace(base_plan, configuration=config,
+                   allocation=Allocation(
+                       {rel: 8 for rel in config.relations}))
+
+
+class TestAdaptiveController:
+    def test_replans_on_drift(self, universe, queries):
+        params = CostParameters()
+        calm = uniform_dataset(universe, 4000, duration=4.0, seed=1)
+        big_universe = make_group_universe(SCHEMA, (800, 2400, 4800, 9000),
+                                           seed=9)
+        burst_raw = uniform_dataset(big_universe, 4000, duration=4.0,
+                                    seed=2)
+        burst = Dataset(SCHEMA, burst_raw.columns,
+                        burst_raw.timestamps + 4.0)
+        stats = measure_statistics(calm, FeedingGraph(queries).nodes)
+        first = plan(queries, stats, memory=3000, params=params)
+        controller = AdaptiveController(queries, memory=3000, params=params,
+                                        drift_threshold=0.5,
+                                        warmup_epochs=1, cooldown_epochs=1)
+        live = LiveStreamSystem(SCHEMA, queries, first,
+                                controller=controller)
+        live.push_dataset(calm)
+        live.push_dataset(burst)
+        live.finish()
+        assert controller.replan_count >= 1
+        assert live.reconfigurations
+        # The re-planned configurations differ from the initial one.
+        assert any(cfg != first.configuration
+                   for _, cfg in live.reconfigurations)
+
+    def test_stable_stream_does_not_replan_constantly(self, universe,
+                                                      queries):
+        data = uniform_dataset(universe, 8000, duration=8.0, seed=3)
+        stats = measure_statistics(data, FeedingGraph(queries).nodes)
+        first = plan(queries, stats, memory=800)
+        controller = AdaptiveController(queries, memory=800,
+                                        drift_threshold=0.5,
+                                        warmup_epochs=1, cooldown_epochs=1)
+        live = LiveStreamSystem(SCHEMA, queries, first,
+                                controller=controller)
+        live.push_dataset(data)
+        live.finish()
+        # One initial sketch-based replan is fine; after that the stream
+        # is stationary, so the controller must settle.
+        assert controller.replan_count <= 2
+
+    def test_initial_plan_from_sketches(self, universe, queries):
+        data = uniform_dataset(universe, 4000, duration=4.0, seed=4)
+        controller = AdaptiveController(queries, memory=800)
+        controller.collector.observe(data.columns)
+        first = controller.initial_plan()
+        assert first.configuration is not None
+        for q in queries.group_bys:
+            assert q in first.configuration

@@ -1,0 +1,116 @@
+"""Tests for the end-to-end StreamSystem."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Aggregate,
+    AggregationQuery,
+    AttributeSet,
+    Configuration,
+    CostParameters,
+    QuerySet,
+    StreamSystem,
+)
+from repro.core.optimizer import plan
+from repro.errors import ConfigurationError
+from repro.workloads import measure_statistics, uniform_dataset
+from repro.core.feeding_graph import FeedingGraph
+
+
+def A(label):
+    return AttributeSet.parse(label)
+
+
+@pytest.fixture(scope="module")
+def dataset(small_universe_module):
+    return uniform_dataset(small_universe_module, 6000, duration=9.0,
+                           seed=21, value_column="len")
+
+
+@pytest.fixture(scope="module")
+def small_universe_module():
+    from repro import StreamSchema
+    from repro.workloads import make_group_universe
+    schema = StreamSchema(("A", "B", "C", "D"), value_columns=("len",))
+    return make_group_universe(schema, (8, 24, 48, 90), value_pool=64,
+                               seed=7)
+
+
+class TestStreamSystem:
+    def test_planned_run_end_to_end(self, dataset):
+        queries = QuerySet.counts(["A", "B", "C", "D"], epoch_seconds=3.0)
+        stats = measure_statistics(dataset, FeedingGraph(queries).nodes)
+        p = plan(queries, stats, memory=600)
+        report = StreamSystem.from_plan(dataset, queries, p).run()
+        assert report.result.n_records == len(dataset)
+        assert report.per_record_cost > 0
+        assert "records processed" in report.summary()
+
+    def test_answers_match_across_engines(self, dataset):
+        queries = QuerySet.counts(["A", "B"], epoch_seconds=3.0)
+        config = Configuration.from_notation("AB(A B)")
+        buckets = {rel: 16 for rel in config.relations}
+        reports = {}
+        for engine in ("vectorized", "reference"):
+            system = StreamSystem(dataset, queries, config, buckets,
+                                  engine=engine)
+            reports[engine] = system.run()
+        for q in queries:
+            assert reports["vectorized"].answers(q) == \
+                reports["reference"].answers(q)
+
+    def test_phantom_config_same_answers_as_naive(self, dataset):
+        """The core guarantee: phantoms never change query results."""
+        queries = QuerySet.counts(["A", "B"], epoch_seconds=3.0)
+        naive = StreamSystem(dataset, queries,
+                             Configuration.flat(queries.group_bys),
+                             {A("A"): 16, A("B"): 16}).run()
+        tree = StreamSystem(dataset, queries,
+                            Configuration.from_notation("AB(A B)"),
+                            {A("AB"): 16, A("A"): 8, A("B"): 8}).run()
+        for q in queries:
+            assert naive.answers(q) == tree.answers(q)
+
+    def test_avg_query_needs_value_column(self, dataset):
+        q = AggregationQuery(A("A"), Aggregate("avg", "len"),
+                             epoch_seconds=3.0)
+        queries = QuerySet([q])
+        config = Configuration.flat([A("A")])
+        with pytest.raises(ConfigurationError):
+            StreamSystem(dataset, queries, config, {A("A"): 16})
+        system = StreamSystem(dataset, queries, config, {A("A"): 16},
+                              value_column="len")
+        report = system.run()
+        answers = report.answers(q)
+        assert answers
+        # Averages must be within the generated value range.
+        for per_epoch in answers.values():
+            for value in per_epoch.values():
+                assert 40.0 <= value <= 10_000.0
+
+    def test_missing_query_in_configuration(self, dataset):
+        queries = QuerySet.counts(["A", "B"], epoch_seconds=3.0)
+        config = Configuration.flat([A("A")])
+        with pytest.raises(ConfigurationError):
+            StreamSystem(dataset, queries, config, {A("A"): 16})
+
+    def test_requires_buckets_or_plan(self, dataset):
+        queries = QuerySet.counts(["A"], epoch_seconds=3.0)
+        with pytest.raises(ConfigurationError):
+            StreamSystem(dataset, queries, Configuration.flat([A("A")]))
+
+    def test_unknown_engine(self, dataset):
+        queries = QuerySet.counts(["A"], epoch_seconds=3.0)
+        with pytest.raises(ValueError):
+            StreamSystem(dataset, queries, Configuration.flat([A("A")]),
+                         {A("A"): 16}, engine="quantum")
+
+    def test_measured_vs_predicted_cost_agree_roughly(self, dataset):
+        """Eq. 7 should be in the ballpark of the measured cost."""
+        queries = QuerySet.counts(["A", "B", "C", "D"], epoch_seconds=9.0)
+        stats = measure_statistics(dataset, FeedingGraph(queries).nodes)
+        p = plan(queries, stats, memory=800, algorithm="none")
+        report = StreamSystem.from_plan(dataset, queries, p).run()
+        assert report.per_record_cost == pytest.approx(
+            p.predicted_cost, rel=0.6)

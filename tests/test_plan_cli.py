@@ -1,0 +1,89 @@
+"""Tests for the ``repro-plan`` command-line tool."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import make_group_universe, uniform_dataset
+from repro import StreamSchema
+from repro.workloads.io import save_csv, save_npz
+
+
+@pytest.fixture(scope="module")
+def npz_path(tmp_path_factory):
+    schema = StreamSchema(("A", "B", "C"), value_columns=("len",))
+    universe = make_group_universe(schema, (8, 24, 60), value_pool=64,
+                                   seed=3)
+    data = uniform_dataset(universe, 4000, duration=9.0, seed=4,
+                           value_column="len")
+    path = tmp_path_factory.mktemp("data") / "trace.npz"
+    save_npz(data, path)
+    return str(path), data
+
+
+class TestPlanCli:
+    def test_plan_from_npz(self, npz_path, capsys):
+        path, _ = npz_path
+        code = main(["--data", path, "--memory", "2000",
+                     "select A, count(*) from R group by A, time/3",
+                     "select B, count(*) from R group by B, time/3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out and "per-record cost" in out
+        assert "2 queries" in out
+
+    def test_execute_reports_measured_costs(self, npz_path, capsys):
+        path, _ = npz_path
+        code = main(["--data", path, "--memory", "2000", "--execute",
+                     "select A, count(*) from R group by A, time/3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "records processed : 4000" in out
+        assert "sustainable rate" in out
+
+    def test_where_clause_filters(self, npz_path, capsys):
+        path, data = npz_path
+        threshold = int(data.columns["B"].max())  # keeps a strict subset
+        code = main(["--data", path, "--memory", "2000", "--execute",
+                     f"select A, count(*) from R where B != {threshold} "
+                     "group by A, time/3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "where:" in out
+        assert "records processed : 4000" not in out
+
+    def test_csv_with_value_columns(self, npz_path, tmp_path, capsys):
+        _, data = npz_path
+        csv_path = tmp_path / "trace.csv"
+        save_csv(data, csv_path)
+        code = main(["--data", str(csv_path), "--memory", "2000",
+                     "--value-columns", "len", "--execute",
+                     "select A, avg(len) from R group by A, time/3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-record cost" in out
+
+    def test_missing_file(self, capsys):
+        code = main(["--data", "/nonexistent.npz", "--memory", "2000",
+                     "select A, count(*) from R group by A"])
+        assert code == 2
+        assert "no such dataset" in capsys.readouterr().err
+
+    def test_bad_extension(self, tmp_path, capsys):
+        path = tmp_path / "trace.parquet"
+        path.write_text("x")
+        code = main(["--data", str(path), "--memory", "2000",
+                     "select A, count(*) from R group by A"])
+        assert code == 2
+        assert "unsupported dataset format" in capsys.readouterr().err
+
+    def test_bad_query(self, npz_path, capsys):
+        path, _ = npz_path
+        code = main(["--data", path, "--memory", "2000",
+                     "select nothing sensible"])
+        assert code == 2
+
+    def test_unknown_attribute(self, npz_path, capsys):
+        path, _ = npz_path
+        code = main(["--data", path, "--memory", "2000",
+                     "select Z, count(*) from R group by Z"])
+        assert code == 2

@@ -1,0 +1,98 @@
+"""Tests for dataset statistics measurement."""
+
+import numpy as np
+import pytest
+
+from repro import AttributeSet, StreamSchema
+from repro.gigascope.records import Dataset
+from repro.workloads import (
+    NetflowTraceGenerator,
+    calibrated_flow_length,
+    flow_count,
+    make_group_universe,
+    mean_flow_length,
+    measure_statistics,
+    uniform_dataset,
+)
+from repro.core.feeding_graph import FeedingGraph
+from repro.core.queries import QuerySet
+
+
+def A(label):
+    return AttributeSet.parse(label)
+
+
+def tiny_dataset(values, times):
+    schema = StreamSchema(("A",))
+    return Dataset(schema, {"A": np.array(values, dtype=np.int64)},
+                   np.array(times, dtype=float))
+
+
+class TestFlowCount:
+    def test_contiguous_runs(self):
+        data = tiny_dataset([1, 1, 1, 2, 2, 1], [0, .1, .2, .3, .4, .5])
+        # gap-based with timeout: 1-run, 2-run, then 1 returns within
+        # timeout of its previous occurrence -> still a new flow? The last
+        # record's previous same-group record is at t=0.2, gap 0.3 <= 1.0,
+        # so it merges: flows = 2.
+        assert flow_count(data, "A", timeout=1.0) == 2
+
+    def test_timeout_splits_flows(self):
+        data = tiny_dataset([1, 1, 1, 1], [0.0, 0.1, 5.0, 5.1])
+        assert flow_count(data, "A", timeout=1.0) == 2
+
+    def test_mean_flow_length(self):
+        data = tiny_dataset([1, 1, 2, 2], [0, .1, .2, .3])
+        assert mean_flow_length(data, "A", timeout=1.0) == 2.0
+
+    def test_empty_dataset(self):
+        data = tiny_dataset([], [])
+        assert flow_count(data, "A") == 0
+        assert mean_flow_length(data, "A") == 1.0
+
+
+class TestCalibratedFlowLength:
+    def test_uniform_data_is_near_one(self):
+        schema = StreamSchema(("A", "B"))
+        universe = make_group_universe(schema, (20, 200), seed=1)
+        data = uniform_dataset(universe, 30_000, seed=2)
+        assert calibrated_flow_length(data, "AB") < 3.0
+
+    def test_clustered_data_is_large(self):
+        schema = StreamSchema(("A", "B"))
+        universe = make_group_universe(schema, (20, 200), seed=1)
+        gen = NetflowTraceGenerator(universe, mean_flow_length=40,
+                                    mean_flow_seconds=0.05)
+        data = gen.generate(30_000, duration=30.0, seed=3)
+        assert calibrated_flow_length(data, "AB") > 5.0
+
+    def test_empty(self):
+        assert calibrated_flow_length(tiny_dataset([], []), "A") == 1.0
+
+
+class TestMeasureStatistics:
+    def test_covers_feeding_graph(self):
+        schema = StreamSchema(("A", "B", "C", "D"))
+        universe = make_group_universe(schema, (8, 24, 48, 90),
+                                       value_pool=64, seed=7)
+        data = uniform_dataset(universe, 10_000, seed=1)
+        queries = QuerySet.counts(["AB", "BC", "BD", "CD"])
+        graph = FeedingGraph(queries)
+        stats = measure_statistics(data, graph.nodes)
+        assert stats.covered(graph.nodes)
+        assert stats.group_count(A("ABCD")) <= 90
+
+    def test_flow_lengths_recorded_when_requested(self):
+        data = tiny_dataset([1, 1, 2, 2], [0, .1, .2, .3])
+        stats = measure_statistics(data, [A("A")], flow_timeout=1.0)
+        assert stats.flow_length(A("A")) == 2.0
+
+    def test_flow_lengths_default_one(self):
+        data = tiny_dataset([1, 1, 2, 2], [0, .1, .2, .3])
+        stats = measure_statistics(data, [A("A")])
+        assert stats.flow_length(A("A")) == 1.0
+
+    def test_counters_forwarded(self):
+        data = tiny_dataset([1], [0])
+        stats = measure_statistics(data, [A("A")], counters=2)
+        assert stats.entry_units(A("A")) == 3

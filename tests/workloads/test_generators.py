@@ -1,0 +1,139 @@
+"""Tests for the synthetic and netflow workload generators."""
+
+import numpy as np
+import pytest
+
+from repro import AttributeSet, StreamSchema
+from repro.errors import WorkloadError
+from repro.workloads import (
+    NetflowTraceGenerator,
+    make_group_universe,
+    mean_flow_length,
+    paper_like_trace,
+    paper_synthetic_dataset,
+    uniform_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def universe():
+    schema = StreamSchema(("A", "B", "C"), value_columns=("len",))
+    return make_group_universe(schema, (10, 40, 120), value_pool=64, seed=3)
+
+
+class TestUniformDataset:
+    def test_draws_only_universe_groups(self, universe):
+        data = uniform_dataset(universe, 2000, seed=1)
+        assert data.group_count(AttributeSet.parse("ABC")) <= 120
+
+    def test_covers_universe_with_enough_records(self, universe):
+        data = uniform_dataset(universe, 50_000, seed=1)
+        assert data.group_count(AttributeSet.parse("ABC")) == 120
+        assert data.group_count(AttributeSet.parse("A")) == 10
+
+    def test_no_clusteredness(self, universe):
+        data = uniform_dataset(universe, 20_000, seed=2)
+        assert mean_flow_length(data, "ABC", timeout=0.0001) < 2.0
+
+    def test_timestamps_sorted_within_duration(self, universe):
+        data = uniform_dataset(universe, 1000, duration=5.0, seed=3)
+        assert data.timestamps[0] >= 0 and data.timestamps[-1] <= 5.0
+        assert np.all(np.diff(data.timestamps) >= 0)
+
+    def test_zipf_skews_popularity(self, universe):
+        flat = uniform_dataset(universe, 30_000, seed=4)
+        skew = uniform_dataset(universe, 30_000, seed=4, zipf_exponent=1.5)
+
+        def top_share(data):
+            codes = (data.columns["A"].astype(object),)
+            from repro.gigascope.hashing import pack_tuples
+            packed = pack_tuples([data.columns[a] for a in "ABC"])
+            _, counts = np.unique(packed, return_counts=True)
+            counts.sort()
+            return counts[-3:].sum() / counts.sum()
+
+        assert top_share(skew) > top_share(flat) * 2
+
+    def test_value_column(self, universe):
+        data = uniform_dataset(universe, 500, seed=5, value_column="len")
+        assert (data.values["len"] >= 40).all()
+
+    def test_bad_value_column(self, universe):
+        with pytest.raises(WorkloadError):
+            uniform_dataset(universe, 10, value_column="nope")
+
+    def test_rejects_zero_records(self, universe):
+        with pytest.raises(WorkloadError):
+            uniform_dataset(universe, 0)
+
+
+class TestNetflowGenerator:
+    def test_exact_record_count(self, universe):
+        gen = NetflowTraceGenerator(universe, mean_flow_length=20)
+        data = gen.generate(12_345, duration=10.0, seed=0)
+        assert len(data) == 12_345
+
+    def test_clustered(self, universe):
+        gen = NetflowTraceGenerator(universe, mean_flow_length=50,
+                                    mean_flow_seconds=0.2)
+        data = gen.generate(20_000, duration=10.0, seed=1)
+        assert mean_flow_length(data, "ABC", timeout=1.0) > 10.0
+
+    def test_coverage(self, universe):
+        gen = NetflowTraceGenerator(universe, mean_flow_length=20)
+        data = gen.generate(20_000, duration=10.0, seed=2)
+        assert data.group_count(AttributeSet.parse("ABC")) == 120
+
+    def test_coverage_disabled(self, universe):
+        gen = NetflowTraceGenerator(universe, mean_flow_length=20,
+                                    zipf_exponent=2.0,
+                                    ensure_coverage=False)
+        data = gen.generate(20_000, duration=10.0, seed=2)
+        assert data.group_count(AttributeSet.parse("ABC")) < 120
+
+    def test_deterministic(self, universe):
+        gen = NetflowTraceGenerator(universe)
+        a = gen.generate(3000, seed=7)
+        b = gen.generate(3000, seed=7)
+        assert np.array_equal(a.columns["A"], b.columns["A"])
+        assert np.array_equal(a.timestamps, b.timestamps)
+
+    def test_rejects_bad_parameters(self, universe):
+        with pytest.raises(WorkloadError):
+            NetflowTraceGenerator(universe, mean_flow_length=0.5)
+        with pytest.raises(WorkloadError):
+            NetflowTraceGenerator(universe, mean_flow_seconds=0)
+
+    def test_value_column(self, universe):
+        gen = NetflowTraceGenerator(universe, mean_flow_length=10)
+        data = gen.generate(500, seed=1, value_column="len")
+        assert (data.values["len"] >= 40).all()
+
+
+class TestPaperPresets:
+    def test_paper_like_trace_calibration(self):
+        trace = paper_like_trace(n_records=120_000, seed=1)
+        assert len(trace) == 120_000
+        # 120k records at ~300 packets/flow is only ~400 flows, so only a
+        # fraction of the 2837-group universe is realized; coverage is a
+        # full-scale property (see test_paper_chain_at_scale).
+        assert trace.group_count(AttributeSet.parse("ABCD")) <= 2837
+        assert mean_flow_length(trace, "ABCD", timeout=1.0) > 5.0
+
+    def test_paper_chain_realized_with_enough_flows(self):
+        """With flows >= groups, the trace realizes the exact paper chain."""
+        from repro import StreamSchema
+        from repro.workloads import PAPER_CHAIN
+        schema = StreamSchema(("A", "B", "C", "D"))
+        universe = make_group_universe(schema, PAPER_CHAIN, seed=1)
+        gen = NetflowTraceGenerator(universe, mean_flow_length=35)
+        trace = gen.generate(100_000, duration=62.0, seed=2)
+        assert trace.group_count(AttributeSet.parse("ABCD")) == 2837
+        assert trace.group_count(AttributeSet.parse("A")) == 552
+        assert trace.group_count(AttributeSet.parse("AB")) == 1846
+        assert trace.group_count(AttributeSet.parse("ABC")) == 2117
+
+    def test_paper_synthetic_dataset(self):
+        data = paper_synthetic_dataset(n_records=50_000)
+        assert len(data) == 50_000
+        assert data.group_count(AttributeSet.parse("ABCD")) <= 2837
