@@ -1,0 +1,207 @@
+"""Shard-scaling benchmark: records/sec vs. shard count, as a JSON curve.
+
+Streams a >= 1M-record synthetic (or netflow-like) workload through
+``ShardedStreamSystem`` at increasing shard counts, for hash and
+round-robin partitioning, and writes the resulting throughput curve to a
+JSON file so the performance trajectory is tracked from PR to PR::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py --quick  # CI smoke
+
+Two throughputs are reported per point:
+
+* ``wall_records_per_sec`` — end-to-end ``run()`` wall clock, including
+  partitioning and the HFTA merge;
+* ``ingest_records_per_sec`` — the engine-phase throughput (the shard
+  engines only). In deployment the splitting a partitioner performs here
+  is done upstream by the packet source (NIC receive-side scaling /
+  per-link taps), so this is the steady-state ingestion rate of the
+  sharded LFTA tier.
+
+The executor defaults to ``auto``: worker processes when the host has
+more than one CPU, the inline serial executor otherwise (on a single
+core, processes only add IPC overhead; serial measures the same total
+work). Sharding pays even serially — N small sorted passes beat one big
+one on cache residency and n·log n — so the ingest curve should exceed
+the 1-shard baseline on any host, and wall clock should follow wherever
+real cores exist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro import QuerySet, ShardedStreamSystem, StreamSystem, plan
+from repro.core.feeding_graph import FeedingGraph
+from repro.parallel import make_partitioner
+from repro.workloads import (
+    measure_statistics,
+    paper_like_trace,
+    paper_synthetic_dataset,
+)
+
+DEFAULT_SHARDS = "1,2,4,8"
+DEFAULT_OUT = Path(__file__).parent / "results" / "shard_scaling.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Measure sharded-ingestion throughput vs. shard count "
+                    "and write a JSON scaling curve.")
+    parser.add_argument("--records", type=int, default=1_000_000,
+                        help="stream length (default 1M, the paper's "
+                             "synthetic scale)")
+    parser.add_argument("--workload", default="synthetic",
+                        choices=["synthetic", "netflow"],
+                        help="uniform synthetic stream or clustered "
+                             "netflow-like trace")
+    parser.add_argument("--shards", default=DEFAULT_SHARDS,
+                        help=f"comma-separated shard counts "
+                             f"(default {DEFAULT_SHARDS})")
+    parser.add_argument("--memory", type=float, default=40_000,
+                        help="total LFTA budget, divided across shards")
+    parser.add_argument("--epoch-seconds", type=float, default=10.0)
+    parser.add_argument("--executor", default="auto",
+                        choices=["auto", "process", "serial"])
+    parser.add_argument("--reps", type=int, default=2,
+                        help="timed repetitions per point (best is kept)")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="JSON output path")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 120k records, shards 1,2, "
+                             "one rep, and an exactness cross-check")
+    return parser
+
+
+def _resolve_executor(choice: str) -> str:
+    if choice != "auto":
+        return choice
+    return "process" if (os.cpu_count() or 1) > 1 else "serial"
+
+
+def _make_dataset(workload: str, n_records: int):
+    if workload == "netflow":
+        return paper_like_trace(n_records=n_records, seed=11)
+    return paper_synthetic_dataset(n_records=n_records, seed=11)
+
+
+def _measure_point(dataset, queries, the_plan, strategy: str, shards: int,
+                   executor: str, reps: int) -> dict:
+    best = None
+    for _ in range(max(1, reps) + 1):  # one warmup rep, then timed reps
+        system = ShardedStreamSystem.from_plan(
+            dataset, queries, the_plan, shards=shards,
+            partitioner=make_partitioner(strategy), executor=executor)
+        started = time.perf_counter()
+        system.run()
+        wall = time.perf_counter() - started
+        timings = system.last_timings or {}
+        point = {
+            "shards": shards,
+            "wall_seconds": wall,
+            "partition_seconds": timings.get("partition_seconds", 0.0),
+            "engine_seconds": timings.get("engine_seconds", wall),
+            "merge_seconds": timings.get("merge_seconds", 0.0),
+        }
+        if best is None or point["wall_seconds"] < best["wall_seconds"]:
+            best = point
+    n = len(dataset)
+    best["wall_records_per_sec"] = n / best["wall_seconds"]
+    best["ingest_records_per_sec"] = n / best["engine_seconds"]
+    return best
+
+
+def _cross_check(dataset, queries, the_plan, executor: str) -> None:
+    """Assert sharded answers equal the single-core system's, byte for byte."""
+    single = StreamSystem.from_plan(dataset, queries, the_plan).run()
+    for strategy in ("hash", "round-robin"):
+        sharded = ShardedStreamSystem.from_plan(
+            dataset, queries, the_plan, shards=2,
+            partitioner=make_partitioner(strategy), executor=executor).run()
+        for query in queries:
+            if sharded.answers(query) != single.answers(query):
+                raise AssertionError(
+                    f"sharded answers diverge from single-core for {query} "
+                    f"under {strategy} partitioning")
+    print("exactness cross-check: sharded answers == single-core answers")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        args.records = min(args.records, 120_000)
+        args.shards = "1,2"
+        args.reps = 1
+    shard_counts = sorted({int(s) for s in args.shards.split(",") if s})
+    executor = _resolve_executor(args.executor)
+
+    print(f"generating {args.workload} workload, {args.records} records...")
+    dataset = _make_dataset(args.workload, args.records)
+    queries = QuerySet.counts(["AB", "BC", "BD", "CD"],
+                              epoch_seconds=args.epoch_seconds)
+    stats = measure_statistics(dataset, FeedingGraph(queries).nodes)
+    the_plan = plan(queries, stats, args.memory)
+    print(f"plan: {the_plan}")
+    if args.quick:
+        _cross_check(dataset, queries, the_plan, executor)
+
+    curves: dict[str, list[dict]] = {}
+    for strategy in ("hash", "round-robin"):
+        points = []
+        for shards in shard_counts:
+            point = _measure_point(dataset, queries, the_plan, strategy,
+                                   shards, executor, args.reps)
+            points.append(point)
+            print(f"{strategy:>11} x{shards}: "
+                  f"wall {point['wall_seconds']:.3f}s "
+                  f"({point['wall_records_per_sec'] / 1e6:.2f}M rec/s), "
+                  f"ingest {point['ingest_records_per_sec'] / 1e6:.2f}M rec/s")
+        base = points[0]
+        for point in points:
+            point["ingest_speedup_vs_1"] = (
+                point["ingest_records_per_sec"]
+                / base["ingest_records_per_sec"])
+            point["wall_speedup_vs_1"] = (
+                point["wall_records_per_sec"] / base["wall_records_per_sec"])
+        curves[strategy] = points
+
+    result = {
+        "meta": {
+            "records": len(dataset),
+            "workload": args.workload,
+            "memory": args.memory,
+            "epoch_seconds": args.epoch_seconds,
+            "queries": [str(q) for q in queries],
+            "plan": str(the_plan),
+            "executor": executor,
+            "cpu_count": os.cpu_count(),
+            "reps": args.reps,
+            "quick": args.quick,
+        },
+        "curves": curves,
+    }
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    best_multi = max(
+        (p["ingest_records_per_sec"] for pts in curves.values()
+         for p in pts if p["shards"] > 1), default=0.0)
+    base = curves["hash"][0]["ingest_records_per_sec"]
+    if best_multi > base:
+        print(f"multi-shard ingest beats 1-shard: "
+              f"{best_multi / 1e6:.2f}M vs {base / 1e6:.2f}M rec/s")
+    else:
+        print("warning: no multi-shard point beat the 1-shard baseline "
+              "on this host", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

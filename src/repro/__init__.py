@@ -36,6 +36,12 @@ from repro.core import (
     plan,
 )
 from repro.gigascope import Dataset, RunReport, StreamSchema, StreamSystem
+from repro.parallel import (
+    HashPartitioner,
+    KeyRangePartitioner,
+    RoundRobinPartitioner,
+    ShardedStreamSystem,
+)
 
 __version__ = "1.0.0"
 
@@ -51,7 +57,11 @@ __all__ = [
     "RelationStatistics",
     "plan",
     "Dataset",
+    "HashPartitioner",
+    "KeyRangePartitioner",
+    "RoundRobinPartitioner",
     "RunReport",
+    "ShardedStreamSystem",
     "StreamSchema",
     "StreamSystem",
     "__version__",

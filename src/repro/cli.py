@@ -27,6 +27,7 @@ from repro.core.sql import parse_workload
 from repro.errors import ReproError
 from repro.gigascope.load import LoadModel
 from repro.gigascope.runtime import StreamSystem
+from repro.parallel import ShardedStreamSystem, make_partitioner
 from repro.workloads.datasets import measure_statistics
 from repro.workloads.io import load_csv, load_npz
 
@@ -60,6 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "CSV")
     parser.add_argument("--execute", action="store_true",
                         help="also stream the dataset through the plan")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="run --execute on N parallel LFTA shards "
+                             "(default 1: single-core)")
+    parser.add_argument("--partition", default="hash",
+                        choices=["hash", "round-robin", "range"],
+                        help="record-to-shard strategy for --shards > 1")
+    parser.add_argument("--partition-column", default=None,
+                        help="attribute for --partition range")
+    parser.add_argument("--shard-executor", default="process",
+                        choices=["process", "serial"],
+                        help="worker processes per shard, or inline serial "
+                             "execution (deterministic, for debugging)")
     return parser
 
 
@@ -76,7 +89,12 @@ def _load_dataset(path_text: str, value_columns: tuple[str, ...]):
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.partition == "range" and args.partition_column is None:
+        parser.error("--partition range requires --partition-column")
     try:
         value_columns = tuple(
             v for v in args.value_columns.split(",") if v)
@@ -111,11 +129,28 @@ def main(argv: list[str] | None = None) -> int:
         for query in queries:
             if query.aggregate.needs_value:
                 value_column = query.aggregate.column
-        report = StreamSystem.from_plan(dataset, queries, the_plan,
-                                        params=params,
-                                        value_column=value_column,
-                                        where=where).run()
+        try:
+            if args.shards > 1:
+                partitioner = make_partitioner(
+                    args.partition, column=args.partition_column)
+                system = ShardedStreamSystem.from_plan(
+                    dataset, queries, the_plan, params=params,
+                    value_column=value_column, where=where,
+                    shards=args.shards, partitioner=partitioner,
+                    executor=args.shard_executor)
+            else:
+                system = StreamSystem.from_plan(dataset, queries, the_plan,
+                                                params=params,
+                                                value_column=value_column,
+                                                where=where)
+            report = system.run()
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print()
+        if args.shards > 1:
+            print(f"shards            : {args.shards} "
+                  f"({args.partition}, {args.shard_executor})")
         print(report.summary())
         rate = LoadModel(params=params).sustainable_rate(
             report.per_record_cost)

@@ -101,9 +101,27 @@ class HFTA:
             np.array([e.value_min for e in evs], dtype=np.float64),
             np.array([e.value_max for e in evs], dtype=np.float64))
 
+    def merge_from(self, other: "HFTA") -> None:
+        """Fold another HFTA's pending partials into this one.
+
+        Partial aggregates are mergeable, so combining the batch lists of
+        two HFTAs — e.g. the per-shard HFTAs of a partitioned parallel run
+        — yields exactly the totals a single HFTA fed by both streams
+        would have produced.
+        """
+        for key, batches in other._batches.items():
+            self._batches[key].extend(batches)
+            self._totals_cache.pop(key, None)
+        self.evictions_received += other.evictions_received
+
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+    @property
+    def epochs_seen(self) -> list[int]:
+        """All epoch ids for which any relation received evictions."""
+        return sorted({epoch for (_, epoch) in self._batches})
+
     def epochs(self, relation: AttributeSet) -> list[int]:
         """Epoch ids for which this relation received evictions."""
         return sorted({epoch for (rel, epoch) in self._batches

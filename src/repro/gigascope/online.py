@@ -160,7 +160,12 @@ class LiveStreamSystem:
             n = timestamps.shape[0]
             self.records_seen += int(np.count_nonzero(~keep))
             if n == 0:
-                return []
+                # The filter dropped the whole batch, but the batch still
+                # proves stream time advanced: if it lies beyond the open
+                # epoch, that epoch will never see another record and must
+                # close now (otherwise its report and answers stall until
+                # some later record survives the filter).
+                return self._advance_time()
 
         completed: list[EpochReport] = []
         epoch_ids = np.floor(timestamps / self.epoch_seconds).astype(np.int64)
@@ -179,6 +184,15 @@ class LiveStreamSystem:
                 self._pending_vals.append(vals[start:end])
         self.records_seen += int(n)
         return completed
+
+    def _advance_time(self) -> list[EpochReport]:
+        """Close the open epoch if ``_last_time`` has moved past its end."""
+        if self._pending_epoch is None:
+            return []
+        latest_epoch = int(np.floor(self._last_time / self.epoch_seconds))
+        if latest_epoch > self._pending_epoch:
+            return [self._close_epoch()]
+        return []
 
     def push_dataset(self, dataset: Dataset) -> list[EpochReport]:
         """Convenience: push a whole :class:`Dataset` as one batch."""

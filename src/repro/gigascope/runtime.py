@@ -93,6 +93,12 @@ class StreamSystem:
         if missing:
             raise ConfigurationError(
                 f"configuration does not instantiate queries {missing}")
+        unbucketed = [rel for rel in configuration.relations
+                      if rel not in buckets]
+        if unbucketed:
+            raise ConfigurationError(
+                "buckets= has no entry for relations "
+                f"{[rel.label() for rel in unbucketed]}")
         for rel in configuration.relations:
             dataset.schema.attribute_set(rel)
         if engine not in ("vectorized", "reference"):

@@ -1,0 +1,39 @@
+"""Sharded parallel ingestion: partition the stream, merge exact partials.
+
+The paper's LFTA/HFTA split is shard-friendly by construction — partial
+aggregates for count/sum/min/max merge exactly — so the stream can be
+partitioned across N independent LFTA shard engines whose outputs one
+HFTA-level merge combines into the same per-epoch answers the single-core
+:class:`~repro.gigascope.runtime.StreamSystem` produces.
+
+* :mod:`~repro.parallel.partition` — hash / round-robin / key-range
+  record-to-shard assignment;
+* :mod:`~repro.parallel.sharded` — :class:`ShardedStreamSystem`, the
+  multi-core mirror of :class:`StreamSystem`;
+* :mod:`~repro.parallel.merge` — exact merging of per-shard HFTAs and
+  cost counters.
+
+See ``docs/sharding.md`` for semantics and the memory-split policy.
+"""
+
+from repro.parallel.merge import merge_counters, merge_hftas, merge_results
+from repro.parallel.partition import (
+    HashPartitioner,
+    KeyRangePartitioner,
+    RoundRobinPartitioner,
+    make_partitioner,
+    split_dataset,
+)
+from repro.parallel.sharded import ShardedStreamSystem
+
+__all__ = [
+    "HashPartitioner",
+    "KeyRangePartitioner",
+    "RoundRobinPartitioner",
+    "ShardedStreamSystem",
+    "make_partitioner",
+    "merge_counters",
+    "merge_hftas",
+    "merge_results",
+    "split_dataset",
+]

@@ -1,0 +1,183 @@
+"""Pluggable stream partitioners for the sharded ingestion runtime.
+
+A partitioner assigns each record of a :class:`~repro.gigascope.records.Dataset`
+to one of ``n_shards`` shard streams. Because LFTA/HFTA partial aggregates
+are exactly mergeable (counts and value sums add, minima/maxima combine —
+the same property that makes phantoms lossless), *any* record-to-shard
+assignment preserves query answers; partitioners differ only in how they
+trade balance against per-shard group locality:
+
+* :class:`HashPartitioner` — salted splitmix64 hash of a grouping-key
+  projection. Records of one group land on one shard, so each shard's
+  tables see a disjoint slice of the group space and cross-shard duplicate
+  groups (extra HFTA merge work) are minimized.
+* :class:`RoundRobinPartitioner` — record ``i`` goes to shard
+  ``i % n_shards``. Perfectly balanced, oblivious to keys; every shard
+  sees (a thinned copy of) every group.
+* :class:`KeyRangePartitioner` — contiguous value ranges of one attribute,
+  with explicit boundaries or data-derived quantiles. Keeps related keys
+  together (e.g. subnets) at the price of skew sensitivity.
+
+Each partitioner preserves arrival order within a shard (boolean masking of
+time-sorted arrays), so shard streams remain valid time-ordered datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.attributes import AttributeSet
+from repro.errors import ConfigurationError, SchemaError
+from repro.gigascope.hashing import combine_columns
+from repro.gigascope.records import Dataset
+
+__all__ = [
+    "HashPartitioner",
+    "RoundRobinPartitioner",
+    "KeyRangePartitioner",
+    "make_partitioner",
+    "split_dataset",
+]
+
+#: Salt decorrelating shard placement from LFTA bucket placement; a record's
+#: shard must not predict its bucket or per-shard collision rates would be
+#: biased relative to the single-table model.
+_SHARD_SALT = 0x5A2D_51AB
+
+
+def _check_shards(n_shards: int) -> int:
+    n = int(n_shards)
+    if n < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    return n
+
+
+@dataclass(frozen=True)
+class HashPartitioner:
+    """Shard by a salted hash of a grouping-key projection.
+
+    ``key`` selects the attributes hashed (default: every schema
+    attribute, i.e. the finest group identity). Hashing a coarser
+    projection — e.g. ``AttributeSet.parse("AB")`` — keeps all records of
+    each AB-group on one shard, which also co-locates every relation whose
+    attributes include the key.
+    """
+
+    key: AttributeSet | None = None
+    salt: int = _SHARD_SALT
+
+    def shard_ids(self, dataset: Dataset, n_shards: int) -> np.ndarray:
+        n_shards = _check_shards(n_shards)
+        attrs = (dataset.schema.all_attributes if self.key is None
+                 else dataset.schema.attribute_set(self.key))
+        hashes = combine_columns([dataset.columns[a] for a in attrs],
+                                 self.salt)
+        return (hashes % np.uint64(n_shards)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class RoundRobinPartitioner:
+    """Shard record ``i`` to ``i % n_shards``: balanced, key-oblivious."""
+
+    def shard_ids(self, dataset: Dataset, n_shards: int) -> np.ndarray:
+        n_shards = _check_shards(n_shards)
+        return np.arange(len(dataset), dtype=np.int64) % n_shards
+
+
+@dataclass(frozen=True)
+class KeyRangePartitioner:
+    """Shard by contiguous ranges of one grouping attribute.
+
+    With explicit ``boundaries`` ``(b_1, ..., b_{k-1})``, shard ``i`` takes
+    values in ``[b_i, b_{i+1})`` (half-open, ``b_0 = -inf``); the boundary
+    count must then be ``n_shards - 1``. Without boundaries, quantiles of
+    the dataset's own column are used, which balances the shards for the
+    observed value distribution.
+    """
+
+    column: str
+    boundaries: tuple[float, ...] | None = None
+
+    def shard_ids(self, dataset: Dataset, n_shards: int) -> np.ndarray:
+        n_shards = _check_shards(n_shards)
+        if self.column not in dataset.columns:
+            raise SchemaError(
+                f"range-partition column {self.column!r} is not a grouping "
+                f"attribute of schema {dataset.schema.attributes}")
+        values = dataset.columns[self.column]
+        if self.boundaries is not None:
+            bounds = np.asarray(self.boundaries, dtype=np.float64)
+            if bounds.shape != (n_shards - 1,):
+                raise ConfigurationError(
+                    f"{n_shards} shards need {n_shards - 1} range "
+                    f"boundaries, got {bounds.shape[0]}")
+            if np.any(np.diff(bounds) <= 0):
+                raise ConfigurationError(
+                    "range boundaries must be strictly increasing")
+        else:
+            if len(dataset) == 0:
+                return np.zeros(0, dtype=np.int64)
+            quantiles = np.arange(1, n_shards) / n_shards
+            bounds = np.quantile(values, quantiles)
+        return np.searchsorted(bounds, values, side="right").astype(np.int64)
+
+
+_REGISTRY = {
+    "hash": HashPartitioner,
+    "round-robin": RoundRobinPartitioner,
+    "roundrobin": RoundRobinPartitioner,
+    "rr": RoundRobinPartitioner,
+    "range": KeyRangePartitioner,
+}
+
+
+def make_partitioner(name: str, key: str | AttributeSet | None = None,
+                     column: str | None = None):
+    """Build a partitioner from its CLI name (``hash``/``round-robin``/``range``)."""
+    kind = name.strip().lower()
+    if kind not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown partition strategy {name!r} "
+            f"(choose from hash, round-robin, range)")
+    cls = _REGISTRY[kind]
+    if cls is HashPartitioner:
+        attrs = (AttributeSet.parse(key) if isinstance(key, str) else key)
+        return HashPartitioner(attrs)
+    if cls is KeyRangePartitioner:
+        if column is None:
+            raise ConfigurationError(
+                "range partitioning needs a column (pass column=)")
+        return KeyRangePartitioner(column)
+    return RoundRobinPartitioner()
+
+
+def split_dataset(dataset: Dataset, shard_ids: np.ndarray,
+                  n_shards: int) -> list[Dataset]:
+    """Materialize the shard streams for a record-to-shard assignment.
+
+    ``shard_ids`` must assign every record an id in ``[0, n_shards)``.
+    Within each shard, records keep their arrival order, so timestamps
+    remain non-decreasing.
+    """
+    n_shards = _check_shards(n_shards)
+    ids = np.asarray(shard_ids)
+    if ids.shape != (len(dataset),):
+        raise ConfigurationError(
+            f"shard assignment length {ids.shape} does not match "
+            f"{len(dataset)} records")
+    if len(dataset) and (ids.min() < 0 or ids.max() >= n_shards):
+        raise ConfigurationError(
+            f"shard ids must lie in [0, {n_shards}), got range "
+            f"[{ids.min()}, {ids.max()}]")
+    shards = []
+    for shard in range(n_shards):
+        keep = ids == shard
+        shards.append(Dataset(
+            dataset.schema,
+            {name: col[keep] for name, col in dataset.columns.items()},
+            dataset.timestamps[keep],
+            {name: col[keep] for name, col in dataset.values.items()},
+        ))
+    return shards

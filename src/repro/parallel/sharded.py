@@ -1,0 +1,207 @@
+"""Sharded parallel ingestion: N LFTA shard engines, one exact HFTA merge.
+
+:class:`ShardedStreamSystem` mirrors the :class:`~repro.gigascope.runtime.
+StreamSystem` API but splits the stream into ``shards`` sub-streams with a
+pluggable :mod:`partitioner <repro.parallel.partition>`, runs the exact
+vectorized engine on every shard — in worker processes via
+:class:`concurrent.futures.ProcessPoolExecutor`, or inline with the
+deterministic serial executor — and merges the per-shard HFTAs and cost
+counters into one :class:`~repro.gigascope.metrics.SimulationResult`.
+``RunReport``, ``summary()`` and every cost/answer accessor therefore work
+unchanged on the merged report.
+
+The LFTA memory budget is divided across shards: each shard's table for
+relation ``R`` gets ``max(1, buckets_R // shards)`` buckets, so a sharded
+run occupies (at most) the same total LFTA memory as the single-core run
+it replaces. Exactness does not depend on the split — only the measured
+collision/eviction counts do.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.core.attributes import AttributeSet
+from repro.core.configuration import Configuration
+from repro.core.cost_model import CostParameters
+from repro.core.optimizer import Plan
+from repro.core.queries import QuerySet
+from repro.errors import ConfigurationError
+from repro.gigascope.engine import simulate
+from repro.gigascope.metrics import SimulationResult
+from repro.gigascope.records import Dataset
+from repro.gigascope.runtime import RunReport, StreamSystem
+from repro.parallel.merge import merge_results
+from repro.parallel.partition import HashPartitioner, split_dataset
+
+__all__ = ["ShardedStreamSystem"]
+
+_EXECUTORS = ("process", "serial")
+
+# One shard's work order: everything `simulate` needs, picklable as a unit
+# so `ProcessPoolExecutor.map` can ship it to a worker in one hop.
+_ShardJob = tuple[Dataset, Configuration, dict[AttributeSet, int],
+                  float, str | None, int]
+
+
+def _run_shard(job: _ShardJob) -> SimulationResult:
+    """Worker entry point: one vectorized engine pass over one shard."""
+    dataset, config, buckets, epoch_seconds, value_column, salt_seed = job
+    return simulate(dataset, config, buckets, epoch_seconds, value_column,
+                    salt_seed)
+
+
+def _count_epochs(dataset: Dataset, epoch_seconds: float) -> int:
+    """Distinct non-empty epochs of the unsharded stream."""
+    if len(dataset) == 0:
+        return 0
+    ids = np.floor(dataset.timestamps / epoch_seconds).astype(np.int64)
+    return int(np.unique(ids).size)
+
+
+class ShardedStreamSystem:
+    """A partitioned, multi-engine LFTA tier with one merging HFTA.
+
+    Accepts the same arguments as :class:`StreamSystem` (minus the engine
+    choice — shards always run the vectorized engine) plus:
+
+    shards:
+        Number of parallel LFTA shards. ``shards=1`` bypasses
+        partitioning and the executor entirely and behaves exactly like a
+        single :class:`StreamSystem`.
+    partitioner:
+        Record-to-shard assignment strategy (default
+        :class:`~repro.parallel.partition.HashPartitioner` on the full
+        grouping key). Any partition yields exact answers.
+    executor:
+        ``"process"`` (one worker process per shard, true multi-core) or
+        ``"serial"`` (shards run inline, in shard order — deterministic
+        and debugger-friendly; used by the test suite).
+    max_workers:
+        Process-pool size cap; defaults to ``min(shards, cpu count)``.
+    """
+
+    def __init__(self, dataset: Dataset, queries: QuerySet,
+                 configuration: Configuration,
+                 buckets: dict[AttributeSet, int] | None = None,
+                 plan: Plan | None = None,
+                 params: CostParameters | None = None,
+                 value_column: str | None = None,
+                 salt_seed: int = 0,
+                 where=None,
+                 shards: int = 2,
+                 partitioner=None,
+                 executor: str = "process",
+                 max_workers: int | None = None):
+        if int(shards) < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if executor not in _EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r} "
+                             f"(choose from {_EXECUTORS})")
+        # A hidden single-core system performs all validation (plan
+        # resolution, bucket completeness, value column, WHERE filter) and
+        # serves as the shards=1 fast path.
+        self._single = StreamSystem(
+            dataset, queries, configuration, buckets, plan=plan,
+            params=params, value_column=value_column, salt_seed=salt_seed,
+            where=where)
+        self.shards = int(shards)
+        self.partitioner = (partitioner if partitioner is not None
+                            else HashPartitioner())
+        self.executor = executor
+        self.max_workers = max_workers
+        self.shard_buckets = {rel: max(1, b // self.shards)
+                              for rel, b in self._single.buckets.items()}
+        #: Per-shard ``SimulationResult`` list, populated by :meth:`run`.
+        self.shard_results: list[SimulationResult] | None = None
+        #: Wall seconds of the partition / engine / merge phases of the
+        #: last :meth:`run` (the scaling benchmark reads these; with the
+        #: serial executor the engine phase equals the summed shard work).
+        self.last_timings: dict[str, float] | None = None
+
+    @classmethod
+    def from_plan(cls, dataset: Dataset, queries: QuerySet, plan: Plan,
+                  **kwargs) -> "ShardedStreamSystem":
+        return cls(dataset, queries, plan.configuration, plan=plan, **kwargs)
+
+    # ------------------------------------------------------------------
+    # StreamSystem-compatible accessors
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        return self._single.dataset
+
+    @property
+    def queries(self) -> QuerySet:
+        return self._single.queries
+
+    @property
+    def configuration(self) -> Configuration:
+        return self._single.configuration
+
+    @property
+    def buckets(self) -> dict[AttributeSet, int]:
+        """The undivided (single-core) bucket counts of the plan."""
+        return self._single.buckets
+
+    @property
+    def params(self) -> CostParameters:
+        return self._single.params
+
+    @property
+    def value_column(self) -> str | None:
+        return self._single.value_column
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> RunReport:
+        """Partition, stream every shard, merge; one report, exact answers."""
+        if self.shards == 1:
+            started = time.perf_counter()
+            report = self._single.run()
+            self.shard_results = [report.result]
+            self.last_timings = {
+                "partition_seconds": 0.0,
+                "engine_seconds": time.perf_counter() - started,
+                "merge_seconds": 0.0,
+            }
+            return report
+        dataset = self._single.dataset
+        epoch_seconds = self.queries.epoch_seconds
+        started = time.perf_counter()
+        shard_ids = self.partitioner.shard_ids(dataset, self.shards)
+        jobs: list[_ShardJob] = [
+            (shard, self._single.configuration, self.shard_buckets,
+             epoch_seconds, self.value_column, self._single.salt_seed)
+            for shard in split_dataset(dataset, shard_ids, self.shards)
+            if len(shard)
+        ]
+        if not jobs:  # empty stream: run one shard for the empty result
+            jobs = [(dataset, self._single.configuration,
+                     self.shard_buckets, epoch_seconds, self.value_column,
+                     self._single.salt_seed)]
+        partitioned = time.perf_counter()
+        if self.executor == "serial" or len(jobs) == 1:
+            results = [_run_shard(job) for job in jobs]
+        else:
+            workers = self.max_workers or min(len(jobs),
+                                              os.cpu_count() or 1)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_run_shard, jobs))
+        streamed = time.perf_counter()
+        self.shard_results = results
+        merged = merge_results(
+            results, self._single.configuration,
+            n_records=len(dataset),
+            n_epochs=_count_epochs(dataset, epoch_seconds))
+        self.last_timings = {
+            "partition_seconds": partitioned - started,
+            "engine_seconds": streamed - partitioned,
+            "merge_seconds": time.perf_counter() - streamed,
+        }
+        return RunReport(merged, self.params, self.queries)

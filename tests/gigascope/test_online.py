@@ -87,6 +87,40 @@ class TestLiveStreamSystem:
         epochs = [r.epoch for r in live.epoch_reports]
         assert epochs == sorted(epochs)
 
+    def test_fully_filtered_batch_still_closes_epoch(self, queries,
+                                                     base_plan):
+        """A batch dropped whole by WHERE must advance epoch state."""
+        from repro.gigascope.filters import Comparison
+        live = LiveStreamSystem(SCHEMA, queries, base_plan,
+                                where=Comparison("A", "!=", 0))
+        kept = {a: np.array([1, 2]) for a in SCHEMA.attributes}
+        live.push(kept, np.array([0.5, 1.0]))  # epoch 0 stays open
+        dropped = {a: np.array([0, 0]) for a in SCHEMA.attributes}
+        reports = live.push(dropped, np.array([2.5, 2.9]))  # epoch 1
+        assert [r.epoch for r in reports] == [0]
+        assert reports[0].records == 2
+        assert live.records_seen == 4
+        assert live.finish() == []  # nothing pending anymore
+
+    def test_filtered_batches_match_batch_system(self, queries, base_plan):
+        """Equivalence with StreamSystem when WHERE empties whole epochs."""
+        from repro.gigascope.filters import Comparison
+        where = Comparison("A", "!=", 0)
+        a = np.array([1, 2, 0, 0, 3, 1])
+        columns = {name: a for name in SCHEMA.attributes}
+        times = np.array([0.5, 1.0, 2.5, 2.6, 4.2, 4.9])
+        dataset = Dataset(SCHEMA, columns, times)
+        batch_report = StreamSystem.from_plan(dataset, queries, base_plan,
+                                              where=where).run()
+        live = LiveStreamSystem(SCHEMA, queries, base_plan, where=where)
+        for start, end in ((0, 2), (2, 4), (4, 6)):
+            live.push({n: c[start:end] for n, c in columns.items()},
+                      times[start:end])
+        live.finish()
+        for q in queries:
+            assert live.answers(q) == batch_report.answers(q)
+        assert live.total_intra_cost() == batch_report.intra_cost.total
+
     def test_rejects_out_of_order_batches(self, queries, base_plan):
         live = LiveStreamSystem(SCHEMA, queries, base_plan)
         cols = {a: np.array([1]) for a in SCHEMA.attributes}

@@ -95,6 +95,14 @@ class TestStreamSystem:
         with pytest.raises(ConfigurationError):
             StreamSystem(dataset, queries, config, {A("A"): 16})
 
+    def test_missing_bucket_entry_names_relations(self, dataset):
+        """Explicit buckets= lacking a relation must fail up front."""
+        queries = QuerySet.counts(["A", "B"], epoch_seconds=3.0)
+        config = Configuration.from_notation("AB(A B)")
+        with pytest.raises(ConfigurationError, match=r"'B'"):
+            StreamSystem(dataset, queries, config,
+                         {A("AB"): 16, A("A"): 8})
+
     def test_requires_buckets_or_plan(self, dataset):
         queries = QuerySet.counts(["A"], epoch_seconds=3.0)
         with pytest.raises(ConfigurationError):

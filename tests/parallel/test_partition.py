@@ -1,0 +1,136 @@
+"""Tests for the stream partitioners."""
+
+import numpy as np
+import pytest
+
+from repro import AttributeSet, StreamSchema
+from repro.errors import ConfigurationError, SchemaError
+from repro.parallel import (
+    HashPartitioner,
+    KeyRangePartitioner,
+    RoundRobinPartitioner,
+    make_partitioner,
+    split_dataset,
+)
+from repro.workloads import make_group_universe, uniform_dataset
+
+SCHEMA = StreamSchema(("A", "B", "C", "D"))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    universe = make_group_universe(SCHEMA, (8, 24, 48, 90), seed=7)
+    return uniform_dataset(universe, 5000, duration=9.0, seed=13)
+
+
+class TestHashPartitioner:
+    def test_ids_in_range_and_deterministic(self, dataset):
+        part = HashPartitioner()
+        ids = part.shard_ids(dataset, 4)
+        assert ids.shape == (len(dataset),)
+        assert ids.min() >= 0 and ids.max() < 4
+        assert np.array_equal(ids, part.shard_ids(dataset, 4))
+
+    def test_groups_stay_together(self, dataset):
+        """All records of one group land on one shard (key locality)."""
+        ids = HashPartitioner(AttributeSet.parse("AB")).shard_ids(dataset, 3)
+        key = dataset.columns["A"] * 10_000 + dataset.columns["B"]
+        for group in np.unique(key):
+            assert np.unique(ids[key == group]).size == 1
+
+    def test_reasonable_balance(self, dataset):
+        ids = HashPartitioner().shard_ids(dataset, 4)
+        sizes = np.bincount(ids, minlength=4)
+        assert sizes.min() > len(dataset) // 10
+
+    def test_rejects_zero_shards(self, dataset):
+        with pytest.raises(ConfigurationError):
+            HashPartitioner().shard_ids(dataset, 0)
+
+    def test_rejects_unknown_key(self, dataset):
+        with pytest.raises(SchemaError):
+            HashPartitioner(AttributeSet.parse("AZ")).shard_ids(dataset, 2)
+
+
+class TestRoundRobinPartitioner:
+    def test_perfect_balance(self, dataset):
+        ids = RoundRobinPartitioner().shard_ids(dataset, 4)
+        sizes = np.bincount(ids, minlength=4)
+        assert sizes.max() - sizes.min() <= 1
+        assert np.array_equal(ids[:8], np.arange(8) % 4)
+
+
+class TestKeyRangePartitioner:
+    def test_explicit_boundaries(self, dataset):
+        part = KeyRangePartitioner("A", boundaries=(3.0, 6.0))
+        ids = part.shard_ids(dataset, 3)
+        a = dataset.columns["A"]
+        assert np.all(ids[a < 3] == 0)
+        assert np.all(ids[(a >= 3) & (a < 6)] == 1)
+        assert np.all(ids[a >= 6] == 2)
+
+    def test_quantile_boundaries_balance(self, dataset):
+        ids = KeyRangePartitioner("A").shard_ids(dataset, 2)
+        sizes = np.bincount(ids, minlength=2)
+        assert sizes.min() > 0
+
+    def test_boundary_count_mismatch(self, dataset):
+        with pytest.raises(ConfigurationError):
+            KeyRangePartitioner("A", boundaries=(3.0,)).shard_ids(dataset, 3)
+
+    def test_unknown_column(self, dataset):
+        with pytest.raises(SchemaError):
+            KeyRangePartitioner("Z").shard_ids(dataset, 2)
+
+
+class TestSplitDataset:
+    def test_partition_covers_stream_in_order(self, dataset):
+        ids = RoundRobinPartitioner().shard_ids(dataset, 3)
+        shards = split_dataset(dataset, ids, 3)
+        assert sum(len(s) for s in shards) == len(dataset)
+        for shard in shards:
+            assert np.all(np.diff(shard.timestamps) >= 0)
+        merged = np.sort(np.concatenate([s.columns["A"] for s in shards]))
+        assert np.array_equal(merged, np.sort(dataset.columns["A"]))
+
+    def test_values_follow_records(self):
+        schema = StreamSchema(("A",), value_columns=("len",))
+        universe = make_group_universe(schema, (6,), value_pool=16, seed=1)
+        data = uniform_dataset(universe, 400, duration=4.0, seed=2,
+                               value_column="len")
+        ids = RoundRobinPartitioner().shard_ids(data, 2)
+        shards = split_dataset(data, ids, 2)
+        assert np.array_equal(shards[0].values["len"],
+                              data.values["len"][ids == 0])
+
+    def test_rejects_out_of_range_ids(self, dataset):
+        ids = np.full(len(dataset), 5)
+        with pytest.raises(ConfigurationError):
+            split_dataset(dataset, ids, 3)
+
+    def test_rejects_wrong_length(self, dataset):
+        with pytest.raises(ConfigurationError):
+            split_dataset(dataset, np.zeros(3, dtype=np.int64), 2)
+
+
+class TestFactory:
+    def test_known_strategies(self):
+        assert isinstance(make_partitioner("hash"), HashPartitioner)
+        assert isinstance(make_partitioner("round-robin"),
+                          RoundRobinPartitioner)
+        assert isinstance(make_partitioner("rr"), RoundRobinPartitioner)
+        ranged = make_partitioner("range", column="A")
+        assert isinstance(ranged, KeyRangePartitioner)
+        assert ranged.column == "A"
+
+    def test_hash_key_parsing(self):
+        part = make_partitioner("hash", key="AB")
+        assert part.key == AttributeSet.parse("AB")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            make_partitioner("modulo")
+
+    def test_range_needs_column(self):
+        with pytest.raises(ConfigurationError):
+            make_partitioner("range")

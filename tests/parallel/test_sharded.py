@@ -1,0 +1,229 @@
+"""Sharded-exactness properties: N shards + merge == one StreamSystem."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Aggregate,
+    AggregationQuery,
+    AttributeSet,
+    Configuration,
+    QuerySet,
+    ShardedStreamSystem,
+    StreamSchema,
+    StreamSystem,
+)
+from repro.core.feeding_graph import FeedingGraph
+from repro.errors import ConfigurationError
+from repro.gigascope.filters import Comparison
+from repro.parallel import (
+    HashPartitioner,
+    KeyRangePartitioner,
+    RoundRobinPartitioner,
+    merge_results,
+)
+from repro.core.optimizer import plan
+from repro.workloads import (
+    make_group_universe,
+    measure_statistics,
+    paper_like_trace,
+    uniform_dataset,
+)
+
+
+def A(label):
+    return AttributeSet.parse(label)
+
+
+@pytest.fixture(scope="module")
+def netflow():
+    return paper_like_trace(n_records=12_000, duration=31.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    schema = StreamSchema(("A", "B", "C", "D"), value_columns=("len",))
+    universe = make_group_universe(schema, (8, 24, 48, 90), value_pool=64,
+                                   seed=7)
+    return uniform_dataset(universe, 8_000, duration=9.0, seed=21,
+                           value_column="len")
+
+
+@pytest.fixture(scope="module")
+def pair_plan(netflow):
+    queries = QuerySet.counts(["AB", "BC", "BD", "CD"], epoch_seconds=10.0)
+    stats = measure_statistics(netflow, FeedingGraph(queries).nodes)
+    return queries, plan(queries, stats, memory=4_000)
+
+
+PARTITIONERS = [HashPartitioner(), HashPartitioner(AttributeSet.parse("B")),
+                RoundRobinPartitioner(), KeyRangePartitioner("A")]
+
+
+class TestShardedExactness:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("partitioner", PARTITIONERS,
+                             ids=["hash", "hash-B", "round-robin", "range"])
+    def test_netflow_answers_identical(self, netflow, pair_plan, shards,
+                                       partitioner):
+        """Per-epoch answers are byte-identical to the single-core system."""
+        queries, the_plan = pair_plan
+        single = StreamSystem.from_plan(netflow, queries, the_plan).run()
+        sharded = ShardedStreamSystem.from_plan(
+            netflow, queries, the_plan, shards=shards,
+            partitioner=partitioner, executor="serial").run()
+        assert sharded.result.n_records == single.result.n_records
+        assert sharded.result.n_epochs == single.result.n_epochs
+        for query in queries:
+            assert sharded.answers(query) == single.answers(query)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_synthetic_value_aggregates(self, synthetic, shards):
+        """sum/avg/min/max survive the shard merge (min/max exactly)."""
+        queries = QuerySet([
+            AggregationQuery(A("AB"), Aggregate("sum", "len"),
+                             epoch_seconds=3.0),
+            AggregationQuery(A("B"), Aggregate("min", "len"),
+                             epoch_seconds=3.0),
+            AggregationQuery(A("BC"), Aggregate("max", "len"),
+                             epoch_seconds=3.0),
+            AggregationQuery(A("C"), Aggregate("avg", "len"),
+                             epoch_seconds=3.0),
+        ])
+        config = Configuration.from_notation("ABC(AB B BC C)")
+        buckets = {rel: 32 for rel in config.relations}
+        single = StreamSystem(synthetic, queries, config, buckets,
+                              value_column="len").run()
+        sharded = ShardedStreamSystem(synthetic, queries, config, buckets,
+                                      value_column="len", shards=shards,
+                                      executor="serial").run()
+        for query in queries:
+            mine, theirs = sharded.answers(query), single.answers(query)
+            assert mine.keys() == theirs.keys()
+            for epoch in theirs:
+                assert mine[epoch].keys() == theirs[epoch].keys()
+                for group in theirs[epoch]:
+                    assert mine[epoch][group] == \
+                        pytest.approx(theirs[epoch][group], rel=1e-12)
+
+    def test_process_executor_matches_serial(self, netflow, pair_plan):
+        queries, the_plan = pair_plan
+        reports = {
+            executor: ShardedStreamSystem.from_plan(
+                netflow, queries, the_plan, shards=3,
+                executor=executor).run()
+            for executor in ("serial", "process")
+        }
+        for query in queries:
+            assert reports["process"].answers(query) == \
+                reports["serial"].answers(query)
+        assert reports["process"].result.counters.relations.keys() == \
+            reports["serial"].result.counters.relations.keys()
+
+    def test_where_filter_applies_before_partitioning(self, netflow,
+                                                      pair_plan):
+        queries, the_plan = pair_plan
+        where = Comparison("A", "!=", int(netflow.columns["A"][0]))
+        single = StreamSystem.from_plan(netflow, queries, the_plan,
+                                        where=where).run()
+        sharded = ShardedStreamSystem.from_plan(
+            netflow, queries, the_plan, where=where, shards=3,
+            executor="serial").run()
+        assert sharded.result.n_records == single.result.n_records
+        for query in queries:
+            assert sharded.answers(query) == single.answers(query)
+
+
+class TestCounterConsistency:
+    @pytest.mark.parametrize("partitioner", PARTITIONERS,
+                             ids=["hash", "hash-B", "round-robin", "range"])
+    def test_merged_counters_sum_across_shards(self, netflow, pair_plan,
+                                               partitioner):
+        queries, the_plan = pair_plan
+        system = ShardedStreamSystem.from_plan(
+            netflow, queries, the_plan, shards=4, partitioner=partitioner,
+            executor="serial")
+        report = system.run()
+        merged = report.result.counters
+        parts = [r.counters for r in system.shard_results]
+        for rel, counters in merged.relations.items():
+            assert counters.arrivals_intra == sum(
+                p.relations[rel].arrivals_intra
+                for p in parts if rel in p.relations)
+            assert counters.evictions == sum(
+                p.relations[rel].evictions
+                for p in parts if rel in p.relations)
+        raw = the_plan.configuration.raw_relations
+        intra_raw = sum(merged.relations[rel].arrivals_intra for rel in raw)
+        assert intra_raw == len(netflow) * len(raw)
+        assert report.result.hfta.evictions_received == sum(
+            r.hfta.evictions_received for r in system.shard_results)
+
+    def test_costs_accumulate(self, netflow, pair_plan):
+        queries, the_plan = pair_plan
+        report = ShardedStreamSystem.from_plan(
+            netflow, queries, the_plan, shards=2, executor="serial").run()
+        assert report.per_record_cost > 0
+        assert report.total_cost == pytest.approx(
+            report.intra_cost.total + report.flush_cost.total)
+        assert "records processed" in report.summary()
+
+
+class TestShardedSystemApi:
+    def test_memory_divided_across_shards(self, netflow, pair_plan):
+        queries, the_plan = pair_plan
+        system = ShardedStreamSystem.from_plan(netflow, queries, the_plan,
+                                               shards=4)
+        for rel, total in system.buckets.items():
+            assert system.shard_buckets[rel] == max(1, total // 4)
+
+    def test_single_shard_fast_path(self, netflow, pair_plan):
+        queries, the_plan = pair_plan
+        single = StreamSystem.from_plan(netflow, queries, the_plan).run()
+        fast = ShardedStreamSystem.from_plan(netflow, queries, the_plan,
+                                             shards=1).run()
+        assert fast.result.counters.relations.keys() == \
+            single.result.counters.relations.keys()
+        for rel, counters in single.result.counters.relations.items():
+            assert fast.result.counters.relations[rel].arrivals == \
+                counters.arrivals
+        for query in queries:
+            assert fast.answers(query) == single.answers(query)
+
+    def test_rejects_bad_arguments(self, netflow, pair_plan):
+        queries, the_plan = pair_plan
+        with pytest.raises(ConfigurationError):
+            ShardedStreamSystem.from_plan(netflow, queries, the_plan,
+                                          shards=0)
+        with pytest.raises(ValueError):
+            ShardedStreamSystem.from_plan(netflow, queries, the_plan,
+                                          executor="gpu")
+
+    def test_timings_populated(self, netflow, pair_plan):
+        queries, the_plan = pair_plan
+        system = ShardedStreamSystem.from_plan(netflow, queries, the_plan,
+                                               shards=2, executor="serial")
+        assert system.last_timings is None
+        system.run()
+        assert set(system.last_timings) == {
+            "partition_seconds", "engine_seconds", "merge_seconds"}
+        assert system.last_timings["engine_seconds"] > 0
+
+
+class TestMergeResults:
+    def test_rejects_empty(self, pair_plan):
+        _, the_plan = pair_plan
+        with pytest.raises(ConfigurationError):
+            merge_results([], the_plan.configuration)
+
+    def test_epoch_count_from_union_not_sum(self, netflow, pair_plan):
+        """Shards sharing epochs must not double-count them."""
+        queries, the_plan = pair_plan
+        system = ShardedStreamSystem.from_plan(
+            netflow, queries, the_plan, shards=3, executor="serial")
+        report = system.run()
+        shard_epoch_sum = sum(r.n_epochs for r in system.shard_results)
+        assert report.result.n_epochs <= shard_epoch_sum
+        single_epochs = StreamSystem.from_plan(
+            netflow, queries, the_plan).run().result.n_epochs
+        assert report.result.n_epochs == single_epochs

@@ -40,6 +40,42 @@ class TestPlanCli:
         assert "records processed : 4000" in out
         assert "sustainable rate" in out
 
+    def test_shard_argument_validation(self, npz_path, capsys):
+        path, _ = npz_path
+        query = "select A, count(*) from R group by A, time/3"
+        with pytest.raises(SystemExit):
+            main(["--data", path, "--execute", "--shards", "0", query])
+        assert "--shards must be >= 1" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["--data", path, "--execute", "--shards", "2",
+                  "--partition", "range", query])
+        assert "--partition-column" in capsys.readouterr().err
+
+    def test_execute_sharded(self, npz_path, capsys):
+        path, _ = npz_path
+        code = main(["--data", path, "--memory", "2000", "--execute",
+                     "--shards", "2", "--shard-executor", "serial",
+                     "select A, count(*) from R group by A, time/3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards            : 2 (hash, serial)" in out
+        assert "records processed : 4000" in out
+
+    def test_sharded_answers_match_single_core(self, npz_path, capsys):
+        path, _ = npz_path
+        query = "select A, B, count(*) from R group by A, B, time/3"
+        outputs = {}
+        for extra in ([], ["--shards", "3", "--partition", "round-robin",
+                           "--shard-executor", "serial"]):
+            code = main(["--data", path, "--memory", "2000", "--execute",
+                         *extra, query])
+            assert code == 0
+            lines = capsys.readouterr().out.splitlines()
+            outputs[bool(extra)] = [l for l in lines
+                                    if "records processed" in l
+                                    or "epochs" in l]
+        assert outputs[False] == outputs[True]
+
     def test_where_clause_filters(self, npz_path, capsys):
         path, data = npz_path
         threshold = int(data.columns["B"].max())  # keeps a strict subset
