@@ -11,7 +11,6 @@ with three statistics variants and measures the resulting plans:
 
 from conftest import run_once
 
-from repro.core.attributes import AttributeSet
 from repro.core.optimizer import plan
 from repro.core.queries import QuerySet
 from repro.core.statistics import RelationStatistics

@@ -9,8 +9,7 @@ repro band's "high-rate stream benchmarks slow" caveat).
 import pytest
 
 from repro.core.configuration import Configuration
-from repro.core.queries import QuerySet
-from repro.experiments.common import netflow_stream, paper_params
+from repro.experiments.common import netflow_stream
 from repro.gigascope.engine import simulate
 from repro.gigascope.lfta import run_reference
 

@@ -38,6 +38,7 @@ from pathlib import Path
 
 from repro import QuerySet, ShardedStreamSystem, StreamSystem, plan
 from repro.core.feeding_graph import FeedingGraph
+from repro.observability import MetricsRegistry, RunManifest
 from repro.parallel import make_partitioner
 from repro.workloads import (
     measure_statistics,
@@ -72,6 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="timed repetitions per point (best is kept)")
     parser.add_argument("--out", default=str(DEFAULT_OUT),
                         help="JSON output path")
+    parser.add_argument("--manifest-out", default=None, metavar="PATH",
+                        help="also write a RunManifest JSON (per-shard "
+                             "phase spans and counters) for one "
+                             "instrumented run at the highest shard count")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke mode: 120k records, shards 1,2, "
                              "one rep, and an exactness cross-check")
@@ -94,19 +99,24 @@ def _measure_point(dataset, queries, the_plan, strategy: str, shards: int,
                    executor: str, reps: int) -> dict:
     best = None
     for _ in range(max(1, reps) + 1):  # one warmup rep, then timed reps
+        # A fresh registry per rep so each rep's phase spans stand alone.
+        registry = MetricsRegistry()
         system = ShardedStreamSystem.from_plan(
             dataset, queries, the_plan, shards=shards,
-            partitioner=make_partitioner(strategy), executor=executor)
+            partitioner=make_partitioner(strategy), executor=executor,
+            registry=registry)
         started = time.perf_counter()
         system.run()
         wall = time.perf_counter() - started
-        timings = system.last_timings or {}
+        engine = registry.last_span("engine")
+        partition = registry.last_span("partition")
+        merge = registry.last_span("merge")
         point = {
             "shards": shards,
             "wall_seconds": wall,
-            "partition_seconds": timings.get("partition_seconds", 0.0),
-            "engine_seconds": timings.get("engine_seconds", wall),
-            "merge_seconds": timings.get("merge_seconds", 0.0),
+            "partition_seconds": partition.seconds if partition else 0.0,
+            "engine_seconds": engine.seconds if engine else wall,
+            "merge_seconds": merge.seconds if merge else 0.0,
         }
         if best is None or point["wall_seconds"] < best["wall_seconds"]:
             best = point
@@ -189,6 +199,21 @@ def main(argv: list[str] | None = None) -> int:
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {out_path}")
+
+    if args.manifest_out:
+        registry = MetricsRegistry()
+        system = ShardedStreamSystem.from_plan(
+            dataset, queries, the_plan, shards=max(shard_counts),
+            partitioner=make_partitioner("hash"), executor=executor,
+            registry=registry)
+        report = system.run()
+        manifest = RunManifest.collect(
+            report, plan=the_plan, queries=queries, registry=registry,
+            shard_results=system.shard_results,
+            shard_registries=system.shard_registries,
+            extra={"benchmark": "shard_scaling", "workload": args.workload,
+                   "records": len(dataset), "executor": executor})
+        print(f"wrote {manifest.write(args.manifest_out)}")
 
     best_multi = max(
         (p["ingest_records_per_sec"] for pts in curves.values()

@@ -29,7 +29,6 @@ from repro.workloads import (
     uniform_dataset,
 )
 
-import numpy as np
 
 SCHEMA = StreamSchema(("A", "B", "C", "D"))
 MEMORY = 30_000

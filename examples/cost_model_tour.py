@@ -11,7 +11,6 @@ from repro import (
     Configuration,
     CostParameters,
     QuerySet,
-    RelationStatistics,
     StreamSchema,
 )
 from repro.core.allocation import two_level_allocation

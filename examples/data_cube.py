@@ -18,7 +18,6 @@ This example contrasts three ways to run the cube:
 from itertools import chain, combinations
 
 from repro import (
-    AttributeSet,
     Configuration,
     CostParameters,
     QuerySet,

@@ -36,6 +36,7 @@ from repro.core import (
     plan,
 )
 from repro.gigascope import Dataset, RunReport, StreamSchema, StreamSystem
+from repro.observability import MetricsRegistry, RunManifest
 from repro.parallel import (
     HashPartitioner,
     KeyRangePartitioner,
@@ -59,7 +60,9 @@ __all__ = [
     "Dataset",
     "HashPartitioner",
     "KeyRangePartitioner",
+    "MetricsRegistry",
     "RoundRobinPartitioner",
+    "RunManifest",
     "RunReport",
     "ShardedStreamSystem",
     "StreamSchema",

@@ -11,6 +11,9 @@ statistics from the dataset (``.npz`` or ``.csv`` as written by
 :mod:`repro.workloads.io`), runs the optimizer, and prints the plan with
 its per-relation EXPLAIN breakdown — optionally executing it
 (``--execute``) to report measured costs and the sustainable stream rate.
+``--metrics-json PATH`` writes a :class:`~repro.observability.RunManifest`
+(plan, counters, per-shard phase spans, git SHA) and ``--trace`` prints
+the recorded phase spans; both imply ``--execute``.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.core.sql import parse_workload
 from repro.errors import ReproError
 from repro.gigascope.load import LoadModel
 from repro.gigascope.runtime import StreamSystem
+from repro.observability import MetricsRegistry, RunManifest
 from repro.parallel import ShardedStreamSystem, make_partitioner
 from repro.workloads.datasets import measure_statistics
 from repro.workloads.io import load_csv, load_npz
@@ -73,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["process", "serial"],
                         help="worker processes per shard, or inline serial "
                              "execution (deterministic, for debugging)")
+    parser.add_argument("--metrics-json", default=None, metavar="PATH",
+                        help="write a RunManifest JSON (plan, counters, "
+                             "per-shard phase spans, git SHA) to PATH; "
+                             "implies --execute")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the recorded phase spans after "
+                             "execution; implies --execute")
     return parser
 
 
@@ -124,11 +135,12 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(explain(the_plan, stats, params).render())
 
-    if args.execute:
+    if args.execute or args.metrics_json or args.trace:
         value_column = None
         for query in queries:
             if query.aggregate.needs_value:
                 value_column = query.aggregate.column
+        registry = MetricsRegistry()
         try:
             if args.shards > 1:
                 partitioner = make_partitioner(
@@ -137,13 +149,14 @@ def main(argv: list[str] | None = None) -> int:
                     dataset, queries, the_plan, params=params,
                     value_column=value_column, where=where,
                     shards=args.shards, partitioner=partitioner,
-                    executor=args.shard_executor)
+                    executor=args.shard_executor, registry=registry)
+                report = system.run()
             else:
                 system = StreamSystem.from_plan(dataset, queries, the_plan,
                                                 params=params,
                                                 value_column=value_column,
                                                 where=where)
-            report = system.run()
+                report = system.run(registry=registry)
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -156,6 +169,18 @@ def main(argv: list[str] | None = None) -> int:
             report.per_record_cost)
         print(f"sustainable rate  : {rate / 1e6:.2f}M records/s "
               "(at 200ns/probe)")
+        if args.trace:
+            print()
+            print("trace (phase spans):")
+            for span in registry.spans:
+                print(f"  {span.name:<28} {span.seconds * 1e3:10.3f} ms")
+        if args.metrics_json:
+            manifest = RunManifest.collect(
+                report, plan=the_plan, queries=queries, registry=registry,
+                shard_results=getattr(system, "shard_results", None),
+                shard_registries=getattr(system, "shard_registries", None))
+            out_path = manifest.write(args.metrics_json)
+            print(f"metrics manifest  : {out_path}")
     return 0
 
 

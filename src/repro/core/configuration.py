@@ -15,7 +15,7 @@ e.g. ``"(ABCD(AB BCD(BC BD CD)))"``.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping
 
 from repro.core.attributes import AttributeSet
 from repro.errors import ConfigurationError, NotationError

@@ -22,7 +22,7 @@ module provides small-state streaming estimators:
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 import numpy as np
 

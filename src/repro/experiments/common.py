@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Sequence
 
 from repro.core.cost_model import CostParameters
 from repro.gigascope.records import Dataset, StreamSchema

@@ -15,7 +15,6 @@ collision rate next to both models.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.attributes import AttributeSet
 from repro.core.collision import precise_rate, rough_rate

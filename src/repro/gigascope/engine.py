@@ -34,6 +34,7 @@ from repro.gigascope.hashing import (
 from repro.gigascope.hfta import HFTA
 from repro.gigascope.metrics import CostCounters, SimulationResult
 from repro.gigascope.records import Dataset
+from repro.observability.tracing import trace
 
 __all__ = ["simulate"]
 
@@ -49,12 +50,16 @@ def simulate(dataset: Dataset, config: Configuration,
              value_column: str | None = None,
              salt_seed: int = 0,
              counters: CostCounters | None = None,
-             hfta: HFTA | None = None) -> SimulationResult:
+             hfta: HFTA | None = None,
+             registry=None) -> SimulationResult:
     """Stream a dataset through a configuration; return counters + HFTA.
 
     Pass existing ``counters``/``hfta`` to accumulate across several calls
     (the incremental runtime in :mod:`repro.gigascope.online` streams one
-    epoch per call into shared accumulators).
+    epoch per call into shared accumulators). An optional
+    :class:`~repro.observability.MetricsRegistry` records an ``engine``
+    phase span plus record/epoch counters; when None the engine performs
+    no clock reads of its own.
     """
     table_sizes: dict[AttributeSet, int] = {}
     for rel in config.relations:
@@ -69,10 +74,15 @@ def simulate(dataset: Dataset, config: Configuration,
     counters = counters if counters is not None else CostCounters(config)
     hfta = hfta if hfta is not None else HFTA()
     n_epochs = 0
-    for epoch_id, start, end in dataset.epoch_slices(epoch_seconds):
-        n_epochs += 1
-        _simulate_epoch(dataset, config, table_sizes, salts, depths, max_b,
-                        counters, hfta, epoch_id, start, end, value_column)
+    with trace(registry, "engine"):
+        for epoch_id, start, end in dataset.epoch_slices(epoch_seconds):
+            n_epochs += 1
+            _simulate_epoch(dataset, config, table_sizes, salts, depths,
+                            max_b, counters, hfta, epoch_id, start, end,
+                            value_column)
+    if registry is not None:
+        registry.counter("engine.records").inc(len(dataset))
+        registry.counter("engine.epochs").inc(n_epochs)
     return SimulationResult(counters, hfta, len(dataset), n_epochs)
 
 

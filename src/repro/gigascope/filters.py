@@ -22,7 +22,7 @@ front-end's WHERE clause.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Protocol, Sequence, runtime_checkable
+from typing import Mapping, Protocol, runtime_checkable
 
 import numpy as np
 

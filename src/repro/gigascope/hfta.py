@@ -142,7 +142,6 @@ class HFTA:
             }
             counts = np.concatenate([b[1] for b in batches])
             vsums = np.concatenate([b[2] for b in batches])
-            n = counts.shape[0]
             vmins = np.concatenate([
                 b[3] if b[3] is not None else np.full(b[1].shape[0], np.inf)
                 for b in batches])

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from repro.core.attributes import AttributeSet
 from repro.core.configuration import Configuration
-from repro.core.queries import QuerySet
 from repro.gigascope.hash_table import DirectMappedTable
 from repro.gigascope.hashing import relation_salt
 from repro.gigascope.hfta import HFTA

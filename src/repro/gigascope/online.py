@@ -29,6 +29,7 @@ from repro.gigascope.engine import simulate
 from repro.gigascope.hfta import HFTA
 from repro.gigascope.metrics import CostCounters
 from repro.gigascope.records import Dataset, StreamSchema
+from repro.observability.tracing import trace
 
 __all__ = ["EpochReport", "LiveStreamSystem"]
 
@@ -67,7 +68,7 @@ class LiveStreamSystem:
                  plan: Plan, params: CostParameters | None = None,
                  value_column: str | None = None,
                  controller=None, salt_seed: int = 0,
-                 where=None):
+                 where=None, registry=None):
         self.schema = schema
         self.queries = queries
         self.params = params or CostParameters()
@@ -75,6 +76,7 @@ class LiveStreamSystem:
         self.controller = controller
         self.salt_seed = salt_seed
         self.where = where
+        self.registry = registry
         self.epoch_seconds = queries.epoch_seconds
         self.hfta = HFTA()
         self.eras: list[_Era] = []
@@ -126,7 +128,13 @@ class LiveStreamSystem:
     # Ingest
     # ------------------------------------------------------------------
     def push(self, columns, timestamps, values=None) -> list[EpochReport]:
-        """Feed a batch; returns reports for any epochs it completed."""
+        """Feed a batch; returns reports for any epochs it completed.
+
+        Validation is strictly before mutation: a batch that raises
+        :class:`~repro.errors.SchemaError` leaves the system untouched
+        (``_last_time``, ``records_seen``, pending buffers), so the same
+        time range can be retried with a corrected batch.
+        """
         timestamps = np.asarray(timestamps, dtype=np.float64)
         n = timestamps.shape[0]
         if n == 0:
@@ -134,9 +142,10 @@ class LiveStreamSystem:
         if timestamps[0] < self._last_time or \
                 np.any(np.diff(timestamps) < 0):
             raise SchemaError("batches must arrive in timestamp order")
-        self._last_time = float(timestamps[-1])
         cols = {}
         for name in self.schema.attributes:
+            if name not in columns:
+                raise SchemaError(f"batch missing column {name!r}")
             arr = np.asarray(columns[name])
             if arr.shape != (n,):
                 raise SchemaError(f"column {name!r} length mismatch")
@@ -147,7 +156,12 @@ class LiveStreamSystem:
                 raise SchemaError(
                     f"batch missing values for {self.value_column!r}")
             vals = np.asarray(values, dtype=np.float64)
+            if vals.shape != (n,):
+                raise SchemaError(
+                    f"values for {self.value_column!r} length mismatch")
 
+        # Everything validated; state mutation starts here.
+        self._last_time = float(timestamps[-1])
         if self.where is not None:
             searchable: dict[str, np.ndarray] = dict(cols)
             if vals is not None:
@@ -221,9 +235,11 @@ class LiveStreamSystem:
         dataset = Dataset(self.schema, columns, times, values)
         before_intra = era.counters.measured_intra_cost(self.params).total
         before_flush = era.counters.measured_flush_cost(self.params).total
-        simulate(dataset, era.configuration, era.buckets,
-                 self.epoch_seconds, self.value_column, self.salt_seed,
-                 counters=era.counters, hfta=self.hfta)
+        with trace(self.registry, "flush"):
+            simulate(dataset, era.configuration, era.buckets,
+                     self.epoch_seconds, self.value_column, self.salt_seed,
+                     counters=era.counters, hfta=self.hfta,
+                     registry=self.registry)
         report = EpochReport(
             epoch, len(dataset), era.configuration,
             era.counters.measured_intra_cost(self.params).total
@@ -231,6 +247,16 @@ class LiveStreamSystem:
             era.counters.measured_flush_cost(self.params).total
             - before_flush)
         self.epoch_reports.append(report)
+        if self.registry is not None:
+            self.registry.counter("live.epochs").inc()
+            self.registry.counter("live.records").inc(report.records)
+            self.registry.gauge("live.last_epoch").set(epoch)
+            self.registry.histogram("live.epoch_records").observe(
+                report.records)
+            self.registry.histogram("live.epoch_intra_cost").observe(
+                report.intra_cost)
+            self.registry.histogram("live.epoch_flush_cost").observe(
+                report.flush_cost)
         self._pending_cols = {a: [] for a in self.schema.attributes}
         self._pending_vals = []
         self._pending_times = []
@@ -243,6 +269,11 @@ class LiveStreamSystem:
             staged = self._staged_plan
             self._apply_plan(staged)
             self.reconfigurations.append((epoch + 1, staged.configuration))
+            if self.registry is not None:
+                self.registry.counter("live.reconfigurations").inc()
+                self.registry.event(
+                    "reconfiguration", epoch=epoch + 1,
+                    configuration=str(staged.configuration))
         return report
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.gigascope.engine import simulate
 from repro.gigascope.lfta import run_reference
 from repro.gigascope.metrics import SimulationResult
 from repro.gigascope.records import Dataset
+from repro.observability.tracing import trace
 
 __all__ = ["StreamSystem", "RunReport"]
 
@@ -125,14 +126,23 @@ class StreamSystem:
                   **kwargs) -> "StreamSystem":
         return cls(dataset, queries, plan.configuration, plan=plan, **kwargs)
 
-    def run(self) -> RunReport:
-        """Stream the whole dataset; return measured costs and answers."""
+    def run(self, registry=None) -> RunReport:
+        """Stream the whole dataset; return measured costs and answers.
+
+        An optional :class:`~repro.observability.MetricsRegistry` records
+        the ``engine`` phase span and record/epoch counters.
+        """
         if self.engine == "vectorized":
             result = simulate(self.dataset, self.configuration, self.buckets,
                               self.queries.epoch_seconds, self.value_column,
-                              self.salt_seed)
+                              self.salt_seed, registry=registry)
         else:
-            result = run_reference(self.dataset, self.configuration,
-                                   self.buckets, self.queries.epoch_seconds,
-                                   self.value_column, self.salt_seed)
+            with trace(registry, "engine"):
+                result = run_reference(
+                    self.dataset, self.configuration, self.buckets,
+                    self.queries.epoch_seconds, self.value_column,
+                    self.salt_seed)
+            if registry is not None:
+                registry.counter("engine.records").inc(result.n_records)
+                registry.counter("engine.epochs").inc(result.n_epochs)
         return RunReport(result, self.params, self.queries)

@@ -11,16 +11,24 @@ counters into one :class:`~repro.gigascope.metrics.SimulationResult`.
 unchanged on the merged report.
 
 The LFTA memory budget is divided across shards: each shard's table for
-relation ``R`` gets ``max(1, buckets_R // shards)`` buckets, so a sharded
-run occupies (at most) the same total LFTA memory as the single-core run
-it replaces. Exactness does not depend on the split — only the measured
-collision/eviction counts do.
+relation ``R`` gets ``buckets_R // shards`` buckets, so a sharded run
+occupies at most the same total LFTA memory as the single-core run it
+replaces. A relation with fewer planned buckets than shards cannot be
+split without exceeding that budget (every shard table needs at least one
+bucket), so the constructor raises
+:class:`~repro.errors.ConfigurationError` rather than silently
+overshooting — use fewer shards or a larger budget. Exactness does not
+depend on the split — only the measured collision/eviction counts do.
+
+Every run records ``partition`` / ``engine`` / ``merge`` phase spans into
+a :class:`~repro.observability.MetricsRegistry` (pass your own or read
+the system's), and each shard worker returns its own sub-registry, merged
+under a ``shard<i>.`` prefix alongside the counter merge.
 """
 
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -35,6 +43,7 @@ from repro.gigascope.engine import simulate
 from repro.gigascope.metrics import SimulationResult
 from repro.gigascope.records import Dataset
 from repro.gigascope.runtime import RunReport, StreamSystem
+from repro.observability import MetricsRegistry
 from repro.parallel.merge import merge_results
 from repro.parallel.partition import HashPartitioner, split_dataset
 
@@ -42,17 +51,26 @@ __all__ = ["ShardedStreamSystem"]
 
 _EXECUTORS = ("process", "serial")
 
-# One shard's work order: everything `simulate` needs, picklable as a unit
-# so `ProcessPoolExecutor.map` can ship it to a worker in one hop.
-_ShardJob = tuple[Dataset, Configuration, dict[AttributeSet, int],
+# One shard's work order: everything `simulate` needs plus the shard index,
+# picklable as a unit so `ProcessPoolExecutor.map` can ship it to a worker
+# in one hop.
+_ShardJob = tuple[int, Dataset, Configuration, dict[AttributeSet, int],
                   float, str | None, int]
 
 
-def _run_shard(job: _ShardJob) -> SimulationResult:
-    """Worker entry point: one vectorized engine pass over one shard."""
-    dataset, config, buckets, epoch_seconds, value_column, salt_seed = job
-    return simulate(dataset, config, buckets, epoch_seconds, value_column,
-                    salt_seed)
+def _run_shard(job: _ShardJob) -> tuple[int, SimulationResult,
+                                        MetricsRegistry]:
+    """Worker entry point: one vectorized engine pass over one shard.
+
+    Builds a fresh per-shard registry so the engine span and counters of
+    this shard travel back to the parent with the result.
+    """
+    index, dataset, config, buckets, epoch_seconds, value_column, \
+        salt_seed = job
+    registry = MetricsRegistry()
+    result = simulate(dataset, config, buckets, epoch_seconds, value_column,
+                      salt_seed, registry=registry)
+    return index, result, registry
 
 
 def _count_epochs(dataset: Dataset, epoch_seconds: float) -> int:
@@ -72,7 +90,10 @@ class ShardedStreamSystem:
     shards:
         Number of parallel LFTA shards. ``shards=1`` bypasses
         partitioning and the executor entirely and behaves exactly like a
-        single :class:`StreamSystem`.
+        single :class:`StreamSystem`. Must not exceed any relation's
+        planned bucket count (the per-shard split would exceed the LFTA
+        memory budget); :class:`~repro.errors.ConfigurationError`
+        otherwise.
     partitioner:
         Record-to-shard assignment strategy (default
         :class:`~repro.parallel.partition.HashPartitioner` on the full
@@ -83,6 +104,12 @@ class ShardedStreamSystem:
         and debugger-friendly; used by the test suite).
     max_workers:
         Process-pool size cap; defaults to ``min(shards, cpu count)``.
+        Whatever the value, the pool never opens more workers than there
+        are non-empty shard jobs.
+    registry:
+        A :class:`~repro.observability.MetricsRegistry` to record phase
+        spans and counters into; one is created (and exposed as
+        ``self.registry``) when omitted.
     """
 
     def __init__(self, dataset: Dataset, queries: QuerySet,
@@ -96,7 +123,8 @@ class ShardedStreamSystem:
                  shards: int = 2,
                  partitioner=None,
                  executor: str = "process",
-                 max_workers: int | None = None):
+                 max_workers: int | None = None,
+                 registry: MetricsRegistry | None = None):
         if int(shards) < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
         if executor not in _EXECUTORS:
@@ -110,18 +138,29 @@ class ShardedStreamSystem:
             params=params, value_column=value_column, salt_seed=salt_seed,
             where=where)
         self.shards = int(shards)
+        unsplittable = [rel for rel, b in self._single.buckets.items()
+                        if b < self.shards]
+        if unsplittable:
+            labels = [rel.label() for rel in sorted(
+                unsplittable, key=lambda rel: rel.label())]
+            raise ConfigurationError(
+                f"cannot split relations {labels} across {self.shards} "
+                "shards: each shard table needs >= 1 bucket, which would "
+                "exceed the planned LFTA memory budget; use fewer shards "
+                "or a larger budget")
         self.partitioner = (partitioner if partitioner is not None
                             else HashPartitioner())
         self.executor = executor
         self.max_workers = max_workers
-        self.shard_buckets = {rel: max(1, b // self.shards)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.shard_buckets = {rel: b // self.shards
                               for rel, b in self._single.buckets.items()}
         #: Per-shard ``SimulationResult`` list, populated by :meth:`run`.
         self.shard_results: list[SimulationResult] | None = None
-        #: Wall seconds of the partition / engine / merge phases of the
-        #: last :meth:`run` (the scaling benchmark reads these; with the
-        #: serial executor the engine phase equals the summed shard work).
-        self.last_timings: dict[str, float] | None = None
+        #: Per-shard ``MetricsRegistry`` list (engine spans and counters
+        #: as measured inside each worker), populated by :meth:`run` and
+        #: also merged into :attr:`registry` under ``shard<i>.`` prefixes.
+        self.shard_registries: list[MetricsRegistry] | None = None
 
     @classmethod
     def from_plan(cls, dataset: Dataset, queries: QuerySet, plan: Plan,
@@ -156,52 +195,79 @@ class ShardedStreamSystem:
     def value_column(self) -> str | None:
         return self._single.value_column
 
+    @property
+    def last_timings(self) -> dict[str, float] | None:
+        """Phase wall seconds of the last :meth:`run`, from the spans.
+
+        Legacy accessor kept for the scaling benchmark's JSON schema;
+        new code should read :attr:`registry` spans directly. None until
+        :meth:`run` has completed.
+        """
+        engine = self.registry.last_span("engine")
+        if engine is None:
+            return None
+        partition = self.registry.last_span("partition")
+        merge = self.registry.last_span("merge")
+        return {
+            "partition_seconds": partition.seconds if partition else 0.0,
+            "engine_seconds": engine.seconds,
+            "merge_seconds": merge.seconds if merge else 0.0,
+        }
+
+    def _effective_workers(self, n_jobs: int) -> int:
+        """Pool size for ``n_jobs`` non-empty shards.
+
+        A user-supplied ``max_workers`` is honoured but capped at the job
+        count; the default is ``min(shards, cpu count)`` (and shard jobs
+        never outnumber shards).
+        """
+        if self.max_workers is not None:
+            return max(1, min(self.max_workers, n_jobs))
+        return max(1, min(self.shards, n_jobs, os.cpu_count() or 1))
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self) -> RunReport:
         """Partition, stream every shard, merge; one report, exact answers."""
+        registry = self.registry
         if self.shards == 1:
-            started = time.perf_counter()
-            report = self._single.run()
+            report = self._single.run(registry=registry)
             self.shard_results = [report.result]
-            self.last_timings = {
-                "partition_seconds": 0.0,
-                "engine_seconds": time.perf_counter() - started,
-                "merge_seconds": 0.0,
-            }
+            self.shard_registries = None
             return report
         dataset = self._single.dataset
         epoch_seconds = self.queries.epoch_seconds
-        started = time.perf_counter()
-        shard_ids = self.partitioner.shard_ids(dataset, self.shards)
-        jobs: list[_ShardJob] = [
-            (shard, self._single.configuration, self.shard_buckets,
-             epoch_seconds, self.value_column, self._single.salt_seed)
-            for shard in split_dataset(dataset, shard_ids, self.shards)
-            if len(shard)
-        ]
-        if not jobs:  # empty stream: run one shard for the empty result
-            jobs = [(dataset, self._single.configuration,
-                     self.shard_buckets, epoch_seconds, self.value_column,
-                     self._single.salt_seed)]
-        partitioned = time.perf_counter()
-        if self.executor == "serial" or len(jobs) == 1:
-            results = [_run_shard(job) for job in jobs]
-        else:
-            workers = self.max_workers or min(len(jobs),
-                                              os.cpu_count() or 1)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_run_shard, jobs))
-        streamed = time.perf_counter()
+        with registry.span("partition"):
+            shard_ids = self.partitioner.shard_ids(dataset, self.shards)
+            jobs: list[_ShardJob] = [
+                (index, shard, self._single.configuration,
+                 self.shard_buckets, epoch_seconds, self.value_column,
+                 self._single.salt_seed)
+                for index, shard in enumerate(
+                    split_dataset(dataset, shard_ids, self.shards))
+                if len(shard)
+            ]
+            if not jobs:  # empty stream: run one shard for the empty result
+                jobs = [(0, dataset, self._single.configuration,
+                         self.shard_buckets, epoch_seconds,
+                         self.value_column, self._single.salt_seed)]
+        with registry.span("engine"):
+            if self.executor == "serial" or len(jobs) == 1:
+                outcomes = [_run_shard(job) for job in jobs]
+            else:
+                workers = self._effective_workers(len(jobs))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(pool.map(_run_shard, jobs))
+        results = [result for _, result, _ in outcomes]
         self.shard_results = results
-        merged = merge_results(
-            results, self._single.configuration,
-            n_records=len(dataset),
-            n_epochs=_count_epochs(dataset, epoch_seconds))
-        self.last_timings = {
-            "partition_seconds": partitioned - started,
-            "engine_seconds": streamed - partitioned,
-            "merge_seconds": time.perf_counter() - streamed,
-        }
+        self.shard_registries = [reg for _, _, reg in outcomes]
+        for index, _, shard_registry in outcomes:
+            registry.merge(shard_registry, prefix=f"shard{index}.")
+        registry.gauge("shards").set(self.shards)
+        with registry.span("merge"):
+            merged = merge_results(
+                results, self._single.configuration,
+                n_records=len(dataset),
+                n_epochs=_count_epochs(dataset, epoch_seconds))
         return RunReport(merged, self.params, self.queries)

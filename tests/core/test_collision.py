@@ -1,6 +1,5 @@
 """Tests for the collision-rate models (paper Section 4)."""
 
-import math
 
 import numpy as np
 import pytest
@@ -12,7 +11,6 @@ from repro.core.collision import (
     LookupModel,
     PreciseModel,
     RoughModel,
-    TruncatedPreciseModel,
     clustered_rate,
     collision_component,
     fit_linear_low_region,

@@ -1,6 +1,5 @@
 """Tests for the cost model (paper Eqs. 1-8)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -1,6 +1,5 @@
 """Tests for the hardness companions (Theorem 1's practical content)."""
 
-import pytest
 
 from repro.core.cost_model import CostParameters
 from repro.core.hardness import (

@@ -4,7 +4,6 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core import QuerySet, plan
-from repro.core.feeding_graph import FeedingGraph
 from repro.core.hardness import _random_stats
 
 

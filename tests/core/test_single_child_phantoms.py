@@ -7,10 +7,8 @@ updates. This module pins a concrete counterexample (found by the
 hardness module's randomized search) and checks the EPES prune flag.
 """
 
-import pytest
 
 from repro.core import QuerySet, RelationStatistics
-from repro.core.attributes import AttributeSet
 from repro.core.choosing import ExhaustiveChoice, gcsl
 from repro.core.collision import LookupModel
 from repro.core.configuration import Configuration

@@ -32,7 +32,7 @@ class TestExperimentResult:
         assert "a" in text and "b" in text
         assert "note: hello" in text
         # x=3 exists only in series b; series a shows '-'
-        lines = [l for l in text.splitlines() if l.strip().startswith("3")]
+        lines = [ln for ln in text.splitlines() if ln.strip().startswith("3")]
         assert lines and "-" in lines[0]
 
     def test_series_by_name(self):

@@ -1,6 +1,5 @@
 """Tests for the ASCII chart renderer."""
 
-import pytest
 
 from repro.experiments.common import ExperimentResult, Series
 from repro.experiments.plotting import ascii_chart, render_with_chart

@@ -16,9 +16,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.attributes import AttributeSet
 from repro.core.configuration import Configuration
-from repro.core.queries import AggregationQuery
 from repro.gigascope.engine import simulate
 from repro.gigascope.lfta import run_reference
 from repro.gigascope.records import Dataset, StreamSchema

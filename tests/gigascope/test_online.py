@@ -179,6 +179,146 @@ def plan_with_config(base_plan, config):
                        {rel: 8 for rel in config.relations}))
 
 
+class TestPushExceptionSafety:
+    """A batch that fails validation must leave the system untouched."""
+
+    def test_bad_column_length_leaves_state_unchanged(self, queries,
+                                                      base_plan):
+        live = LiveStreamSystem(SCHEMA, queries, base_plan)
+        good = {a: np.array([1, 2]) for a in SCHEMA.attributes}
+        live.push(good, np.array([0.5, 1.0]))
+        seen, last_time = live.records_seen, live._last_time
+        pending = sum(len(c) for chunks in live._pending_cols.values()
+                      for c in chunks)
+        bad = dict(good)
+        bad["B"] = np.array([1, 2, 3])  # length mismatch
+        with pytest.raises(SchemaError):
+            live.push(bad, np.array([5.0, 6.0]))
+        assert live.records_seen == seen
+        assert live._last_time == last_time
+        assert sum(len(c) for chunks in live._pending_cols.values()
+                   for c in chunks) == pending
+
+    def test_missing_column_leaves_state_unchanged(self, queries,
+                                                   base_plan):
+        live = LiveStreamSystem(SCHEMA, queries, base_plan)
+        incomplete = {a: np.array([1]) for a in ("A", "B", "C")}
+        with pytest.raises(SchemaError):
+            live.push(incomplete, np.array([5.0]))
+        assert live.records_seen == 0
+        assert live._last_time == -np.inf
+
+    def test_failed_batch_then_valid_retry_accepted(self, queries,
+                                                    base_plan):
+        """The acceptance scenario: a SchemaError batch must not advance
+        stream time, so retrying the same timestamps succeeds."""
+        live = LiveStreamSystem(SCHEMA, queries, base_plan)
+        good = {a: np.array([1]) for a in SCHEMA.attributes}
+        live.push(good, np.array([0.5]))
+        bad = dict(good)
+        bad["A"] = np.array([1, 2])
+        with pytest.raises(SchemaError):
+            live.push(bad, np.array([5.0]))
+        # Before the fix _last_time had advanced to 5.0 and this retry
+        # (timestamps >= 0.5 but < 5.0) was rejected as out-of-order.
+        reports = live.push(good, np.array([3.0]))
+        assert [r.epoch for r in reports] == [0]
+        live.push(good, np.array([5.0]))
+        live.finish()
+        assert sum(r.records for r in live.epoch_reports) == 3
+
+    def test_missing_values_leave_state_unchanged(self, queries,
+                                                  base_plan):
+        schema = StreamSchema(("A", "B", "C", "D"), value_columns=("len",))
+        live = LiveStreamSystem(schema, queries, base_plan,
+                                value_column="len")
+        cols = {a: np.array([1]) for a in schema.attributes}
+        with pytest.raises(SchemaError):
+            live.push(cols, np.array([1.0]))  # values missing entirely
+        with pytest.raises(SchemaError):
+            live.push(cols, np.array([1.0]), values=np.array([1.0, 2.0]))
+        assert live.records_seen == 0
+        assert live._last_time == -np.inf
+        assert live.push(cols, np.array([1.0]),
+                         values=np.array([7.0])) == []
+
+
+class TestWhereEdgeCases:
+    def make_filtered(self, queries, base_plan):
+        from repro.gigascope.filters import Comparison
+        return LiveStreamSystem(SCHEMA, queries, base_plan,
+                                where=Comparison("A", "!=", 0))
+
+    def test_dropped_batch_that_starts_new_epoch_closes_previous(
+            self, queries, base_plan):
+        """WHERE drops a batch whose records all lie in a brand-new
+        epoch: the open epoch must close, the new one stays empty."""
+        live = self.make_filtered(queries, base_plan)
+        kept = {a: np.array([1]) for a in SCHEMA.attributes}
+        live.push(kept, np.array([0.5]))  # epoch 0 open
+        dropped = {a: np.array([0, 0]) for a in SCHEMA.attributes}
+        reports = live.push(dropped, np.array([2.1, 2.2]))  # all of epoch 1
+        assert [r.epoch for r in reports] == [0]
+        assert live._pending_epoch is None
+        assert live.finish() == []
+
+    def test_dropped_batch_within_open_epoch_keeps_it_open(self, queries,
+                                                           base_plan):
+        live = self.make_filtered(queries, base_plan)
+        kept = {a: np.array([1]) for a in SCHEMA.attributes}
+        live.push(kept, np.array([0.5]))
+        dropped = {a: np.array([0]) for a in SCHEMA.attributes}
+        assert live.push(dropped, np.array([1.0])) == []  # same epoch
+        (report,) = live.finish()
+        assert report.epoch == 0 and report.records == 1
+
+    def test_finish_after_fully_filtered_stream(self, queries, base_plan):
+        """Every record filtered: no epoch ever opens, finish() is empty."""
+        live = self.make_filtered(queries, base_plan)
+        dropped = {a: np.array([0, 0]) for a in SCHEMA.attributes}
+        assert live.push(dropped, np.array([0.5, 1.0])) == []
+        assert live.push(dropped, np.array([2.5, 2.9])) == []
+        assert live.finish() == []
+        assert live.epoch_reports == []
+        assert live.records_seen == 4
+
+
+class TestLiveMetrics:
+    def test_per_epoch_metrics_emitted(self, dataset, queries, base_plan):
+        from repro import MetricsRegistry
+        registry = MetricsRegistry()
+        live = LiveStreamSystem(SCHEMA, queries, base_plan,
+                                registry=registry)
+        live.push_dataset(dataset)
+        live.finish()
+        assert registry.counter("live.epochs").value == \
+            len(live.epoch_reports)
+        assert registry.counter("live.records").value == len(dataset)
+        assert registry.histogram("live.epoch_records").count == \
+            len(live.epoch_reports)
+        assert registry.span_seconds("flush") > 0
+        assert registry.counter("engine.records").value == len(dataset)
+
+    def test_reconfiguration_event_recorded(self, dataset, queries,
+                                            base_plan):
+        from repro import MetricsRegistry
+        stats = measure_statistics(dataset, FeedingGraph(queries).nodes)
+        other_plan = plan(queries, stats, memory=800, algorithm="none")
+        registry = MetricsRegistry()
+        live = LiveStreamSystem(SCHEMA, queries, base_plan,
+                                registry=registry)
+        half = len(dataset) // 2
+        live.push_dataset(dataset.head(half))
+        live.reconfigure(other_plan)
+        cols = {a: dataset.columns[a][half:] for a in SCHEMA.attributes}
+        live.push(cols, dataset.timestamps[half:])
+        live.finish()
+        assert registry.counter("live.reconfigurations").value >= 1
+        events = [e for e in registry.events if e.name == "reconfiguration"]
+        assert events and events[0].fields["configuration"] == \
+            str(other_plan.configuration)
+
+
 class TestAdaptiveController:
     def test_replans_on_drift(self, universe, queries):
         params = CostParameters()

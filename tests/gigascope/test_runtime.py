@@ -1,6 +1,5 @@
 """Tests for the end-to-end StreamSystem."""
 
-import numpy as np
 import pytest
 
 from repro import (
@@ -8,7 +7,6 @@ from repro import (
     AggregationQuery,
     AttributeSet,
     Configuration,
-    CostParameters,
     QuerySet,
     StreamSystem,
 )

@@ -1,0 +1,161 @@
+"""Tests for the metrics registry and the tracing primitives."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.observability import MetricsRegistry, trace
+from repro.observability.tracing import NULL_SPAN
+
+
+class FakeClock:
+    """Deterministic clock: each read advances one second."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("records").inc()
+        registry.counter("records").inc(41)
+        assert registry.counter("records").value == 42
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("records").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("shards").set(2)
+        registry.gauge("shards").set(8)
+        assert registry.gauge("shards").value == 8.0
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (3.0, 1.0, 2.0):
+            registry.histogram("sizes").observe(value)
+        hist = registry.histogram("sizes")
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.min == 1.0 and hist.max == 3.0
+        assert hist.mean == 2.0
+
+    def test_empty_histogram_serializes_without_inf(self):
+        registry = MetricsRegistry()
+        registry.histogram("never")
+        snapshot = registry.to_dict()["histograms"]["never"]
+        assert snapshot["min"] is None and snapshot["max"] is None
+        json.dumps(snapshot)
+
+
+class TestSpans:
+    def test_span_measures_with_injected_clock(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with registry.span("engine"):
+            pass
+        (span,) = registry.spans
+        assert span.name == "engine"
+        assert span.seconds == 1.0
+
+    def test_span_seconds_sums_by_name(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with registry.span("engine"):
+            pass
+        with registry.span("merge"):
+            pass
+        with registry.span("engine"):
+            pass
+        assert registry.span_seconds("engine") == 2.0
+        assert registry.span_seconds("merge") == 1.0
+        assert registry.span_seconds("absent") == 0.0
+
+    def test_last_span(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with registry.span("engine"):
+            pass
+        with registry.span("engine"):
+            pass
+        assert registry.last_span("engine") is registry.spans[-1]
+        assert registry.last_span("absent") is None
+
+    def test_span_recorded_even_when_body_raises(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with registry.span("engine"):
+                raise RuntimeError("boom")
+        assert registry.span_seconds("engine") == 1.0
+
+    def test_trace_without_registry_is_noop(self):
+        assert trace(None, "engine") is NULL_SPAN
+        with trace(None, "engine"):
+            pass  # must not raise and must not record anything
+
+    def test_trace_with_registry_records(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with trace(registry, "flush"):
+            pass
+        assert registry.span_seconds("flush") == 1.0
+
+
+class TestEventsAndMerge:
+    def test_event_records_fields_and_time(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.event("reconfiguration", epoch=3, configuration="AB(A)")
+        (event,) = registry.to_dict()["events"]
+        assert event["name"] == "reconfiguration"
+        assert event["epoch"] == 3
+        assert event["time"] == 1.0
+
+    def test_merge_with_prefix(self):
+        clock = FakeClock()
+        main = MetricsRegistry(clock=clock)
+        shard = MetricsRegistry(clock=clock)
+        shard.counter("engine.records").inc(10)
+        shard.gauge("depth").set(2)
+        shard.histogram("sizes").observe(5.0)
+        with shard.span("engine"):
+            pass
+        shard.event("done")
+        main.counter("shard0.engine.records").inc(1)
+        main.merge(shard, prefix="shard0.")
+        assert main.counter("shard0.engine.records").value == 11
+        assert main.gauge("shard0.depth").value == 2.0
+        assert main.histogram("shard0.sizes").count == 1
+        assert main.span_seconds("shard0.engine") == 1.0
+        assert main.events[-1].name == "shard0.done"
+
+    def test_merge_accumulates_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(3.0)
+        a.merge(b)
+        assert a.histogram("h").count == 2
+        assert a.histogram("h").min == 1.0
+        assert a.histogram("h").max == 3.0
+
+    def test_to_dict_is_json_serializable(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("c").inc()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(2.0)
+        with registry.span("s"):
+            pass
+        registry.event("e", detail="x")
+        json.dumps(registry.to_dict())
+
+    def test_registry_round_trips_through_pickle(self):
+        """Shard workers ship registries back across process boundaries."""
+        registry = MetricsRegistry()
+        registry.counter("engine.records").inc(7)
+        with registry.span("engine"):
+            pass
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.counter("engine.records").value == 7
+        assert len(clone.spans) == 1

@@ -1,6 +1,5 @@
 """Sharded-exactness properties: N shards + merge == one StreamSystem."""
 
-import numpy as np
 import pytest
 
 from repro import (
@@ -208,6 +207,120 @@ class TestShardedSystemApi:
         assert set(system.last_timings) == {
             "partition_seconds", "engine_seconds", "merge_seconds"}
         assert system.last_timings["engine_seconds"] > 0
+
+
+class TestMemoryBudget:
+    """The shard split must never exceed the planned LFTA budget."""
+
+    def test_rejects_shards_exceeding_bucket_count(self, synthetic):
+        queries = QuerySet.counts(["AB"], epoch_seconds=3.0)
+        config = Configuration.flat([A("AB")])
+        buckets = {A("AB"): 2}
+        with pytest.raises(ConfigurationError, match="exceed"):
+            ShardedStreamSystem(synthetic, queries, config, buckets,
+                                shards=4)
+
+    def test_split_at_exact_bucket_count(self, synthetic):
+        queries = QuerySet.counts(["AB"], epoch_seconds=3.0)
+        config = Configuration.flat([A("AB")])
+        system = ShardedStreamSystem(synthetic, queries, config,
+                                     {A("AB"): 2}, shards=2,
+                                     executor="serial")
+        assert system.shard_buckets[A("AB")] == 1
+        system.run()  # must still produce exact answers
+
+    def test_split_total_never_exceeds_budget(self, netflow, pair_plan):
+        queries, the_plan = pair_plan
+        system = ShardedStreamSystem.from_plan(netflow, queries, the_plan,
+                                               shards=4)
+        for rel, total in system.buckets.items():
+            assert system.shard_buckets[rel] * 4 <= total
+
+    def test_error_names_offending_relations(self, synthetic):
+        queries = QuerySet.counts(["AB"], epoch_seconds=3.0)
+        config = Configuration.flat([A("AB")])
+        with pytest.raises(ConfigurationError, match="AB"):
+            ShardedStreamSystem(synthetic, queries, config, {A("AB"): 3},
+                                shards=5)
+
+
+class TestWorkerCap:
+    def test_default_matches_docstring(self, netflow, pair_plan):
+        """Default pool size is min(shards, cpu count), capped at jobs."""
+        import os
+        queries, the_plan = pair_plan
+        system = ShardedStreamSystem.from_plan(netflow, queries, the_plan,
+                                               shards=8)
+        cpu = os.cpu_count() or 1
+        assert system._effective_workers(8) == min(8, cpu)
+        assert system._effective_workers(3) == min(3, cpu)
+
+    def test_user_max_workers_capped_at_job_count(self, netflow,
+                                                  pair_plan):
+        queries, the_plan = pair_plan
+        system = ShardedStreamSystem.from_plan(netflow, queries, the_plan,
+                                               shards=4, max_workers=64)
+        assert system._effective_workers(4) == 4
+        assert system._effective_workers(1) == 1
+
+    def test_user_max_workers_below_job_count_respected(self, netflow,
+                                                        pair_plan):
+        queries, the_plan = pair_plan
+        system = ShardedStreamSystem.from_plan(netflow, queries, the_plan,
+                                               shards=4, max_workers=2)
+        assert system._effective_workers(4) == 2
+
+
+class TestObservabilityWiring:
+    def test_phase_spans_recorded(self, netflow, pair_plan):
+        from repro import MetricsRegistry
+        queries, the_plan = pair_plan
+        registry = MetricsRegistry()
+        system = ShardedStreamSystem.from_plan(
+            netflow, queries, the_plan, shards=3, executor="serial",
+            registry=registry)
+        system.run()
+        assert registry.last_span("partition") is not None
+        assert registry.last_span("engine") is not None
+        assert registry.last_span("merge") is not None
+        assert registry.span_seconds("engine") > 0
+
+    def test_shard_subregistries_merged_with_prefix(self, netflow,
+                                                    pair_plan):
+        queries, the_plan = pair_plan
+        system = ShardedStreamSystem.from_plan(netflow, queries, the_plan,
+                                               shards=3, executor="serial")
+        system.run()
+        assert system.shard_registries is not None
+        total = sum(
+            system.registry.counter(name).value
+            for name in list(system.registry.counters)
+            if name.endswith(".engine.records"))
+        assert total == len(netflow)
+        per_shard = sum(r.counter("engine.records").value
+                        for r in system.shard_registries)
+        assert per_shard == len(netflow)
+
+    def test_last_timings_derived_from_spans(self, netflow, pair_plan):
+        queries, the_plan = pair_plan
+        system = ShardedStreamSystem.from_plan(netflow, queries, the_plan,
+                                               shards=2, executor="serial")
+        assert system.last_timings is None
+        system.run()
+        timings = system.last_timings
+        assert timings["engine_seconds"] == \
+            system.registry.last_span("engine").seconds
+        assert timings["partition_seconds"] >= 0.0
+
+    def test_single_shard_records_engine_span(self, netflow, pair_plan):
+        queries, the_plan = pair_plan
+        system = ShardedStreamSystem.from_plan(netflow, queries, the_plan,
+                                               shards=1)
+        system.run()
+        timings = system.last_timings
+        assert timings["engine_seconds"] > 0
+        assert timings["partition_seconds"] == 0.0
+        assert timings["merge_seconds"] == 0.0
 
 
 class TestMergeResults:

@@ -71,10 +71,64 @@ class TestPlanCli:
                          *extra, query])
             assert code == 0
             lines = capsys.readouterr().out.splitlines()
-            outputs[bool(extra)] = [l for l in lines
-                                    if "records processed" in l
-                                    or "epochs" in l]
+            outputs[bool(extra)] = [ln for ln in lines
+                                    if "records processed" in ln
+                                    or "epochs" in ln]
         assert outputs[False] == outputs[True]
+
+    def test_metrics_json_writes_sharded_manifest(self, npz_path, tmp_path,
+                                                  capsys):
+        """The acceptance scenario: --metrics-json with --shards 4 emits
+        per-shard phase spans and counters summing to the merged ones."""
+        import json
+        path, data = npz_path
+        out = tmp_path / "out.json"
+        code = main(["--data", path, "--memory", "2000",
+                     "--shards", "4", "--shard-executor", "serial",
+                     "--metrics-json", str(out),
+                     "select A, count(*) from R group by A, time/3"])
+        assert code == 0
+        assert "metrics manifest" in capsys.readouterr().out
+        manifest = json.loads(out.read_text())
+        assert manifest["n_records"] == len(data)
+        assert manifest["plan"]["algorithm"]
+        assert manifest["shards"]
+        for shard in manifest["shards"]:
+            assert any(span["name"] == "engine"
+                       for span in shard["spans"])
+        for rel, merged in manifest["relations"].items():
+            for key, value in merged.items():
+                assert value == sum(
+                    shard["relations"].get(rel, {}).get(key, 0)
+                    for shard in manifest["shards"])
+        assert any(span["name"] == "partition"
+                   for span in manifest["metrics"]["spans"])
+
+    def test_metrics_json_implies_execute(self, npz_path, tmp_path,
+                                          capsys):
+        import json
+        path, data = npz_path
+        out = tmp_path / "single.json"
+        code = main(["--data", path, "--memory", "2000",
+                     "--metrics-json", str(out),
+                     "select A, count(*) from R group by A, time/3"])
+        assert code == 0
+        assert "records processed" in capsys.readouterr().out
+        manifest = json.loads(out.read_text())
+        assert manifest["n_records"] == len(data)
+        assert manifest["metrics"]["counters"]["engine.records"] == \
+            len(data)
+
+    def test_trace_prints_phase_spans(self, npz_path, capsys):
+        path, _ = npz_path
+        code = main(["--data", path, "--memory", "2000",
+                     "--shards", "2", "--shard-executor", "serial",
+                     "--trace",
+                     "select A, count(*) from R group by A, time/3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace (phase spans):" in out
+        assert "engine" in out and "merge" in out
 
     def test_where_clause_filters(self, npz_path, capsys):
         path, data = npz_path

@@ -1,7 +1,6 @@
 """Tests for dataset statistics measurement."""
 
 import numpy as np
-import pytest
 
 from repro import AttributeSet, StreamSchema
 from repro.gigascope.records import Dataset

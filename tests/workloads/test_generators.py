@@ -45,7 +45,6 @@ class TestUniformDataset:
         skew = uniform_dataset(universe, 30_000, seed=4, zipf_exponent=1.5)
 
         def top_share(data):
-            codes = (data.columns["A"].astype(object),)
             from repro.gigascope.hashing import pack_tuples
             packed = pack_tuples([data.columns[a] for a in "ABC"])
             _, counts = np.unique(packed, return_counts=True)

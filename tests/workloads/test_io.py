@@ -86,7 +86,7 @@ class TestCsv:
 
     def test_loaded_dataset_is_usable(self, dataset, tmp_path):
         """Round-tripped data runs through the engine identically."""
-        from repro import AttributeSet, Configuration
+        from repro import Configuration
         from repro.gigascope.engine import simulate
         path = tmp_path / "trace.csv"
         save_csv(dataset, path)
