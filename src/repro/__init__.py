@@ -43,6 +43,7 @@ from repro.parallel import (
     RoundRobinPartitioner,
     ShardedStreamSystem,
 )
+from repro.resilience import FaultPlan, ResilienceReport, RetryPolicy
 
 __version__ = "1.0.0"
 
@@ -58,9 +59,12 @@ __all__ = [
     "RelationStatistics",
     "plan",
     "Dataset",
+    "FaultPlan",
     "HashPartitioner",
     "KeyRangePartitioner",
     "MetricsRegistry",
+    "ResilienceReport",
+    "RetryPolicy",
     "RoundRobinPartitioner",
     "RunManifest",
     "RunReport",

@@ -19,6 +19,7 @@ the recorded phase spans; both imply ``--execute``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -29,9 +30,11 @@ from repro.core.optimizer import plan
 from repro.core.sql import parse_workload
 from repro.errors import ReproError
 from repro.gigascope.load import LoadModel
+from repro.gigascope.online import LiveStreamSystem
 from repro.gigascope.runtime import StreamSystem
 from repro.observability import MetricsRegistry, RunManifest
 from repro.parallel import ShardedStreamSystem, make_partitioner
+from repro.resilience import FaultPlan, RetryPolicy
 from repro.workloads.datasets import measure_statistics
 from repro.workloads.io import load_csv, load_npz
 
@@ -77,6 +80,20 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["process", "serial"],
                         help="worker processes per shard, or inline serial "
                              "execution (deterministic, for debugging)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="retries per failing shard before the serial "
+                             "fallback kicks in (default 2)")
+    parser.add_argument("--fault-plan", default=None, metavar="PATH",
+                        help="JSON fault plan to inject into sharded "
+                             "execution — either a bare plan or a "
+                             "--metrics-json manifest whose resilience "
+                             "section embeds one (reproduces a recorded "
+                             "failure); requires --shards > 1")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="execute incrementally through the live "
+                             "runtime, checkpointing after every batch "
+                             "and resuming from DIR's snapshot when one "
+                             "exists; implies --execute, single-core")
     parser.add_argument("--metrics-json", default=None, metavar="PATH",
                         help="write a RunManifest JSON (plan, counters, "
                              "per-shard phase spans, git SHA) to PATH; "
@@ -85,6 +102,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the recorded phase spans after "
                              "execution; implies --execute")
     return parser
+
+
+def _load_fault_plan(path_text: str) -> FaultPlan:
+    """Read a fault plan from a bare JSON file or a run manifest."""
+    path = Path(path_text)
+    if not path.exists():
+        raise ReproError(f"no such fault-plan file: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read fault plan {path}: {exc}") from exc
+    if isinstance(data, dict):
+        if isinstance(data.get("resilience"), dict):  # a full manifest
+            data = data["resilience"]
+        if isinstance(data.get("fault_plan"), dict):  # a resilience section
+            data = data["fault_plan"]
+        if "faults" in data:
+            return FaultPlan.from_dict(data)
+    raise ReproError(f"{path} contains no fault plan (expected a "
+                     "'faults' list, possibly under resilience.fault_plan)")
 
 
 def _load_dataset(path_text: str, value_columns: tuple[str, ...]):
@@ -99,6 +136,46 @@ def _load_dataset(path_text: str, value_columns: tuple[str, ...]):
                      "(use .npz or .csv)")
 
 
+#: Batches per checkpointed run — one snapshot is written after each.
+_CHECKPOINT_BATCHES = 16
+
+
+def _execute_checkpointed(dataset, queries, the_plan, params, value_column,
+                          where, registry, checkpoint_dir) -> LiveStreamSystem:
+    """Stream through the live runtime, snapshotting as we go.
+
+    Resumes from ``checkpoint_dir/live.ckpt`` when one exists: the
+    snapshot's ``records_seen`` is the replay offset into the dataset,
+    and the restored state already holds the open epoch's buffer — so a
+    killed run re-invoked with the same arguments finishes with answers
+    byte-identical to an uninterrupted one.
+    """
+    ckpt = Path(checkpoint_dir) / "live.ckpt"
+    if ckpt.exists():
+        live = LiveStreamSystem.restore(ckpt, registry=registry)
+        print(f"resuming from {ckpt} "
+              f"({live.records_seen} records already ingested)")
+    else:
+        live = LiveStreamSystem(dataset.schema, queries, the_plan,
+                                params=params, value_column=value_column,
+                                where=where, registry=registry)
+    start = live.records_seen
+    n = len(dataset)
+    step = max(1, (n + _CHECKPOINT_BATCHES - 1) // _CHECKPOINT_BATCHES)
+    for pos in range(start, n, step):
+        end = min(n, pos + step)
+        cols = {a: dataset.columns[a][pos:end]
+                for a in dataset.schema.attributes}
+        vals = (dataset.values[value_column][pos:end]
+                if value_column else None)
+        live.push(cols, dataset.timestamps[pos:end], vals)
+        live.checkpoint(ckpt)
+    live.finish()
+    live.checkpoint(ckpt)
+    print(f"checkpoint        : {ckpt}")
+    return live
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -106,6 +183,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shards must be >= 1")
     if args.partition == "range" and args.partition_column is None:
         parser.error("--partition range requires --partition-column")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.fault_plan is not None and args.shards <= 1:
+        parser.error("--fault-plan requires --shards > 1")
+    if args.checkpoint_dir is not None and args.shards > 1:
+        parser.error("--checkpoint-dir runs the single-core live "
+                     "runtime; drop --shards")
     try:
         value_columns = tuple(
             v for v in args.value_columns.split(",") if v)
@@ -135,21 +219,33 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(explain(the_plan, stats, params).render())
 
-    if args.execute or args.metrics_json or args.trace:
+    if args.execute or args.metrics_json or args.trace or \
+            args.checkpoint_dir:
         value_column = None
         for query in queries:
             if query.aggregate.needs_value:
                 value_column = query.aggregate.column
         registry = MetricsRegistry()
+        system = None
+        live = None
+        report = None
         try:
-            if args.shards > 1:
+            if args.checkpoint_dir is not None:
+                live = _execute_checkpointed(
+                    dataset, queries, the_plan, params, value_column,
+                    where, registry, args.checkpoint_dir)
+            elif args.shards > 1:
                 partitioner = make_partitioner(
                     args.partition, column=args.partition_column)
+                fault_plan = (_load_fault_plan(args.fault_plan)
+                              if args.fault_plan is not None else None)
                 system = ShardedStreamSystem.from_plan(
                     dataset, queries, the_plan, params=params,
                     value_column=value_column, where=where,
                     shards=args.shards, partitioner=partitioner,
-                    executor=args.shard_executor, registry=registry)
+                    executor=args.shard_executor, registry=registry,
+                    retry=RetryPolicy(max_attempts=args.max_retries + 1),
+                    fault_plan=fault_plan)
                 report = system.run()
             else:
                 system = StreamSystem.from_plan(dataset, queries, the_plan,
@@ -161,14 +257,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print()
-        if args.shards > 1:
-            print(f"shards            : {args.shards} "
-                  f"({args.partition}, {args.shard_executor})")
-        print(report.summary())
-        rate = LoadModel(params=params).sustainable_rate(
-            report.per_record_cost)
-        print(f"sustainable rate  : {rate / 1e6:.2f}M records/s "
-              "(at 200ns/probe)")
+        if live is not None:
+            print(f"records processed : {live.records_seen}")
+            print(f"epochs            : {len(live.epoch_reports)}")
+            print(f"intra-epoch cost  : {live.total_intra_cost():.0f}")
+            print(f"end-of-epoch cost : {live.total_flush_cost():.0f}")
+        else:
+            if args.shards > 1:
+                print(f"shards            : {args.shards} "
+                      f"({args.partition}, {args.shard_executor})")
+            print(report.summary())
+            rate = LoadModel(params=params).sustainable_rate(
+                report.per_record_cost)
+            print(f"sustainable rate  : {rate / 1e6:.2f}M records/s "
+                  "(at 200ns/probe)")
         if args.trace:
             print()
             print("trace (phase spans):")
@@ -178,7 +280,9 @@ def main(argv: list[str] | None = None) -> int:
             manifest = RunManifest.collect(
                 report, plan=the_plan, queries=queries, registry=registry,
                 shard_results=getattr(system, "shard_results", None),
-                shard_registries=getattr(system, "shard_registries", None))
+                shard_registries=getattr(system, "shard_registries", None),
+                epoch_reports=(live.epoch_reports if live else None),
+                reconfigurations=(live.reconfigurations if live else None))
             out_path = manifest.write(args.metrics_json)
             print(f"metrics manifest  : {out_path}")
     return 0

@@ -43,3 +43,29 @@ class StatisticsError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was given infeasible parameters."""
+
+
+class ShardExecutionError(ReproError):
+    """A shard worker failed and every recovery avenue was exhausted.
+
+    Carries the shard index and job metadata so operators see *which*
+    partition of the stream failed instead of a raw
+    ``BrokenProcessPool`` or pickling traceback. The underlying worker
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None,
+                 attempts: int | None = None,
+                 records: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+        self.attempts = attempts
+        self.records = records
+
+
+class CheckpointError(ReproError):
+    """A live-run checkpoint could not be written or restored.
+
+    Raised on unreadable files, wrong magic, or a snapshot whose
+    ``checkpoint_version`` this code does not understand.
+    """

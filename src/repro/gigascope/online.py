@@ -16,6 +16,7 @@ follows the stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -275,6 +276,42 @@ class LiveStreamSystem:
                     "reconfiguration", epoch=epoch + 1,
                     configuration=str(staged.configuration))
         return report
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> float:
+        """Timestamp of the last accepted record (``-inf`` before any).
+
+        Replay rule after :meth:`restore`: skip the first
+        :attr:`records_seen` records of the original stream, then keep
+        pushing — the snapshot holds the open epoch's buffered records,
+        so nothing is lost or double-counted.
+        """
+        return self._last_time
+
+    def checkpoint(self, path) -> "Path":
+        """Snapshot full mid-stream state to ``path``.
+
+        The snapshot (versioned; see
+        :mod:`repro.resilience.checkpoint`) captures the eras and their
+        cost counters, HFTA partials, the open epoch's buffered records,
+        the watermark, staged plan, and emitted reports — everything
+        required for :meth:`restore` + replay of the remaining stream to
+        be byte-identical to an uninterrupted run. The ``controller``
+        and ``registry`` are not serialized; re-attach them on restore.
+        """
+        from repro.resilience.checkpoint import save_live_checkpoint
+        return save_live_checkpoint(self, path)
+
+    @classmethod
+    def restore(cls, path, controller=None,
+                registry=None) -> "LiveStreamSystem":
+        """Rebuild a system from a :meth:`checkpoint` snapshot."""
+        from repro.resilience.checkpoint import load_live_checkpoint
+        return load_live_checkpoint(path, controller=controller,
+                                    registry=registry)
 
     # ------------------------------------------------------------------
     # Results

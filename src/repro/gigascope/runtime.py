@@ -33,6 +33,10 @@ class RunReport:
     result: SimulationResult
     params: CostParameters
     queries: QuerySet
+    #: Recovery story of a sharded run (attempts, faults, fallbacks) —
+    #: a :class:`~repro.resilience.ResilienceReport`; None for
+    #: single-core runs.
+    resilience: object | None = None
 
     @property
     def intra_cost(self) -> CostBreakdown:
@@ -66,6 +70,10 @@ class RunReport:
             f"cost per record   : {self.per_record_cost:.3f}",
             f"HFTA evictions    : {self.result.hfta.evictions_received}",
         ]
+        if self.resilience is not None and self.resilience.total_retries:
+            lines.append(
+                f"shard retries     : {self.resilience.total_retries} "
+                f"({self.resilience.total_fallbacks} serial fallbacks)")
         return "\n".join(lines)
 
 

@@ -24,12 +24,29 @@ Every run records ``partition`` / ``engine`` / ``merge`` phase spans into
 a :class:`~repro.observability.MetricsRegistry` (pass your own or read
 the system's), and each shard worker returns its own sub-registry, merged
 under a ``shard<i>.`` prefix alongside the counter merge.
+
+Shard workers are allowed to fail. Each shard gets up to
+``retry.max_attempts`` tries with exponential backoff and deterministic
+jitter; a shard that exhausts its attempts on the process executor is
+re-run once on the in-process serial path (graceful degradation) before
+the run gives up with a :class:`~repro.errors.ShardExecutionError` that
+names the shard and its job — never a raw ``BrokenProcessPool`` or
+pickling traceback. Every returned outcome is validated (shard index,
+result type, record count, sub-registry type), so a worker that returns
+garbage is retried exactly like one that crashed. A seedable
+:class:`~repro.resilience.FaultPlan` can be injected to exercise all of
+this deterministically on the production code path; the whole recovery
+story is summarized in a :class:`~repro.resilience.ResilienceReport`
+(``system.resilience_report``, ``report.resilience``, and
+``resilience.*`` registry counters). See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import NamedTuple
 
 import numpy as np
 
@@ -38,7 +55,7 @@ from repro.core.configuration import Configuration
 from repro.core.cost_model import CostParameters
 from repro.core.optimizer import Plan
 from repro.core.queries import QuerySet
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ShardExecutionError
 from repro.gigascope.engine import simulate
 from repro.gigascope.metrics import SimulationResult
 from repro.gigascope.records import Dataset
@@ -46,31 +63,86 @@ from repro.gigascope.runtime import RunReport, StreamSystem
 from repro.observability import MetricsRegistry
 from repro.parallel.merge import merge_results
 from repro.parallel.partition import HashPartitioner, split_dataset
+from repro.resilience.faults import CorruptResultError, FaultPlan, InjectedFault
+from repro.resilience.report import ResilienceReport
+from repro.resilience.retry import RetryPolicy
 
 __all__ = ["ShardedStreamSystem"]
 
 _EXECUTORS = ("process", "serial")
 
-# One shard's work order: everything `simulate` needs plus the shard index,
-# picklable as a unit so `ProcessPoolExecutor.map` can ship it to a worker
-# in one hop.
-_ShardJob = tuple[int, Dataset, Configuration, dict[AttributeSet, int],
-                  float, str | None, int]
+
+class _ShardJob(NamedTuple):
+    """One shard's work order: everything `simulate` needs plus the shard
+    index, picklable as a unit so the executor can ship it to a worker in
+    one hop."""
+
+    index: int
+    dataset: Dataset
+    configuration: Configuration
+    buckets: dict[AttributeSet, int]
+    epoch_seconds: float
+    value_column: str | None
+    salt_seed: int
 
 
-def _run_shard(job: _ShardJob) -> tuple[int, SimulationResult,
-                                        MetricsRegistry]:
+_ShardOutcome = tuple[int, SimulationResult, MetricsRegistry]
+
+
+def _run_shard(job: _ShardJob, attempt: int = 1,
+               fault_plan: FaultPlan | None = None) -> _ShardOutcome:
     """Worker entry point: one vectorized engine pass over one shard.
 
     Builds a fresh per-shard registry so the engine span and counters of
-    this shard travel back to the parent with the result.
-    """
-    index, dataset, config, buckets, epoch_seconds, value_column, \
-        salt_seed = job
+    this shard travel back to the parent with the result. ``attempt``
+    and ``fault_plan`` are the fault-injection hook: when a plan names
+    this (shard, attempt), the planned fault fires *here*, inside the
+    production path, so crashes cross the real executor boundary and
+    corrupted results flow through the real validation."""
+    fault = (fault_plan.fault_for(job.index, attempt)
+             if fault_plan is not None else None)
+    if fault is not None:
+        if fault.kind == "crash":
+            raise InjectedFault(
+                f"injected crash: shard {job.index}, attempt {attempt}")
+        if fault.kind == "delay":
+            time.sleep(fault.delay_seconds)
     registry = MetricsRegistry()
-    result = simulate(dataset, config, buckets, epoch_seconds, value_column,
-                      salt_seed, registry=registry)
-    return index, result, registry
+    result = simulate(job.dataset, job.configuration, job.buckets,
+                      job.epoch_seconds, job.value_column, job.salt_seed,
+                      registry=registry)
+    if fault is not None and fault.kind == "corrupt":
+        # Falsified record count, missing sub-registry: garbage the
+        # parent's outcome validation must reject.
+        result = SimulationResult(result.counters, result.hfta,
+                                  result.n_records + 1, result.n_epochs)
+        return job.index, result, None
+    return job.index, result, registry
+
+
+def _validate_outcome(job: _ShardJob, outcome) -> _ShardOutcome:
+    """Reject malformed worker results so they retry like crashes."""
+    if not isinstance(outcome, tuple) or len(outcome) != 3:
+        raise CorruptResultError(
+            f"shard {job.index} returned a malformed outcome "
+            f"({type(outcome).__name__})")
+    index, result, registry = outcome
+    if index != job.index:
+        raise CorruptResultError(
+            f"shard {job.index} returned an outcome labelled {index}")
+    if not isinstance(result, SimulationResult):
+        raise CorruptResultError(
+            f"shard {job.index} returned {type(result).__name__} "
+            "instead of a SimulationResult")
+    if not isinstance(registry, MetricsRegistry):
+        raise CorruptResultError(
+            f"shard {job.index} returned an invalid sub-registry "
+            f"({type(registry).__name__})")
+    if result.n_records != len(job.dataset):
+        raise CorruptResultError(
+            f"shard {job.index} reported {result.n_records} records "
+            f"for a {len(job.dataset)}-record shard")
+    return outcome
 
 
 def _count_epochs(dataset: Dataset, epoch_seconds: float) -> int:
@@ -110,6 +182,14 @@ class ShardedStreamSystem:
         A :class:`~repro.observability.MetricsRegistry` to record phase
         spans and counters into; one is created (and exposed as
         ``self.registry``) when omitted.
+    retry:
+        A :class:`~repro.resilience.RetryPolicy` governing per-shard
+        attempts, backoff, timeouts, and the serial fallback; the
+        default policy allows 3 attempts per shard.
+    fault_plan:
+        A :class:`~repro.resilience.FaultPlan` to inject deterministic
+        crash/delay/corrupt faults into shard workers (testing and
+        failure reproduction; None in production).
     """
 
     def __init__(self, dataset: Dataset, queries: QuerySet,
@@ -124,7 +204,9 @@ class ShardedStreamSystem:
                  partitioner=None,
                  executor: str = "process",
                  max_workers: int | None = None,
-                 registry: MetricsRegistry | None = None):
+                 registry: MetricsRegistry | None = None,
+                 retry: RetryPolicy | None = None,
+                 fault_plan: FaultPlan | None = None):
         if int(shards) < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
         if executor not in _EXECUTORS:
@@ -153,8 +235,14 @@ class ShardedStreamSystem:
         self.executor = executor
         self.max_workers = max_workers
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.retry_policy = retry if retry is not None else RetryPolicy()
+        self.fault_plan = fault_plan
         self.shard_buckets = {rel: b // self.shards
                               for rel, b in self._single.buckets.items()}
+        #: The last run's :class:`~repro.resilience.ResilienceReport`
+        #: (attempts, faults, fallbacks, overhead); None before
+        #: :meth:`run` and on the shards=1 fast path.
+        self.resilience_report: ResilienceReport | None = None
         #: Per-shard ``SimulationResult`` list, populated by :meth:`run`.
         self.shard_results: list[SimulationResult] | None = None
         #: Per-shard ``MetricsRegistry`` list (engine spans and counters
@@ -235,30 +323,29 @@ class ShardedStreamSystem:
             report = self._single.run(registry=registry)
             self.shard_results = [report.result]
             self.shard_registries = None
+            self.resilience_report = None
             return report
         dataset = self._single.dataset
         epoch_seconds = self.queries.epoch_seconds
         with registry.span("partition"):
             shard_ids = self.partitioner.shard_ids(dataset, self.shards)
             jobs: list[_ShardJob] = [
-                (index, shard, self._single.configuration,
-                 self.shard_buckets, epoch_seconds, self.value_column,
-                 self._single.salt_seed)
+                _ShardJob(index, shard, self._single.configuration,
+                          self.shard_buckets, epoch_seconds,
+                          self.value_column, self._single.salt_seed)
                 for index, shard in enumerate(
                     split_dataset(dataset, shard_ids, self.shards))
                 if len(shard)
             ]
             if not jobs:  # empty stream: run one shard for the empty result
-                jobs = [(0, dataset, self._single.configuration,
-                         self.shard_buckets, epoch_seconds,
-                         self.value_column, self._single.salt_seed)]
+                jobs = [_ShardJob(0, dataset, self._single.configuration,
+                                  self.shard_buckets, epoch_seconds,
+                                  self.value_column,
+                                  self._single.salt_seed)]
         with registry.span("engine"):
-            if self.executor == "serial" or len(jobs) == 1:
-                outcomes = [_run_shard(job) for job in jobs]
-            else:
-                workers = self._effective_workers(len(jobs))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    outcomes = list(pool.map(_run_shard, jobs))
+            outcomes, resilience = self._execute_jobs(jobs)
+        resilience.record(registry)
+        self.resilience_report = resilience
         results = [result for _, result, _ in outcomes]
         self.shard_results = results
         self.shard_registries = [reg for _, _, reg in outcomes]
@@ -270,4 +357,172 @@ class ShardedStreamSystem:
                 results, self._single.configuration,
                 n_records=len(dataset),
                 n_epochs=_count_epochs(dataset, epoch_seconds))
-        return RunReport(merged, self.params, self.queries)
+        return RunReport(merged, self.params, self.queries,
+                         resilience=resilience)
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant job execution
+    # ------------------------------------------------------------------
+    def _execute_jobs(self, jobs: list[_ShardJob]
+                      ) -> tuple[list[_ShardOutcome], ResilienceReport]:
+        """Run every job to a validated outcome, retrying per policy.
+
+        Raises :class:`~repro.errors.ShardExecutionError` (naming the
+        shard, its size, and the last underlying error) only after the
+        policy's attempts — and, on the process executor, the serial
+        fallback — are exhausted.
+        """
+        resilience = ResilienceReport(
+            policy=self.retry_policy.to_dict(),
+            fault_plan=(self.fault_plan.to_dict()
+                        if self.fault_plan is not None else None))
+        # Published before execution so a raising run still leaves its
+        # partial attempt history inspectable post-mortem.
+        self.resilience_report = resilience
+        rng = self.retry_policy.rng()
+        if self.executor == "serial" or len(jobs) == 1:
+            outcomes = [self._run_job_serial(job, resilience, rng)
+                        for job in jobs]
+        else:
+            outcomes = self._run_jobs_process(jobs, resilience, rng)
+        return outcomes, resilience
+
+    def _note_attempt(self, resilience: ResilienceReport, job: _ShardJob,
+                      attempt: int, rng) -> None:
+        """Book-keep one attempt: count it, log its planned fault, and
+        sleep the backoff (attempt 1 never waits)."""
+        row = resilience.outcome(job.index, len(job.dataset))
+        row.attempts = attempt
+        fault = (self.fault_plan.fault_for(job.index, attempt)
+                 if self.fault_plan is not None else None)
+        if fault is not None:
+            row.faults.append(fault.kind)
+        wait = self.retry_policy.backoff_seconds(attempt, rng)
+        if wait > 0:
+            resilience.backoff_seconds += wait
+            self.retry_policy.sleep(wait)
+
+    def _note_failure(self, resilience: ResilienceReport, job: _ShardJob,
+                      exc: Exception, started: float) -> None:
+        row = resilience.outcome(job.index, len(job.dataset))
+        row.errors.append(f"{type(exc).__name__}: {exc}")
+        resilience.failed_attempt_seconds += time.perf_counter() - started
+
+    def _exhausted(self, job: _ShardJob, resilience: ResilienceReport,
+                   last_exc: Exception) -> ShardExecutionError:
+        row = resilience.outcome(job.index, len(job.dataset))
+        detail = row.errors[-1] if row.errors else str(last_exc)
+        return ShardExecutionError(
+            f"shard {job.index} ({len(job.dataset)} records, "
+            f"{len(self.shard_buckets)} relations) failed after "
+            f"{row.attempts} attempts"
+            + (" including a serial fallback" if row.fallback else "")
+            + f"; last error: {detail}",
+            shard=job.index, attempts=row.attempts,
+            records=len(job.dataset))
+
+    def _check_serial_timeout(self, started: float) -> None:
+        """Post-hoc timeout for in-process attempts (which cannot be
+        interrupted, unlike a worker-pool wait)."""
+        timeout = self.retry_policy.timeout_seconds
+        elapsed = time.perf_counter() - started
+        if timeout is not None and elapsed > timeout:
+            raise TimeoutError(
+                f"attempt took {elapsed:.3f}s, exceeding the "
+                f"{timeout:.3f}s per-attempt timeout")
+
+    def _run_job_serial(self, job: _ShardJob, resilience: ResilienceReport,
+                        rng) -> _ShardOutcome:
+        """In-process attempts; the retry loop of the serial executor."""
+        row = resilience.outcome(job.index, len(job.dataset))
+        last_exc: Exception | None = None
+        for attempt in range(1, self.retry_policy.max_attempts + 1):
+            self._note_attempt(resilience, job, attempt, rng)
+            started = time.perf_counter()
+            try:
+                outcome = _validate_outcome(
+                    job, _run_shard(job, attempt, self.fault_plan))
+                self._check_serial_timeout(started)
+                row.succeeded = True
+                return outcome
+            except Exception as exc:
+                self._note_failure(resilience, job, exc, started)
+                last_exc = exc
+        raise self._exhausted(job, resilience, last_exc) from last_exc
+
+    def _run_jobs_process(self, jobs: list[_ShardJob],
+                          resilience: ResilienceReport,
+                          rng) -> list[_ShardOutcome]:
+        """Submit-based process-pool execution with per-shard retries.
+
+        All first attempts are submitted up front (full parallelism);
+        failures are retried as they surface. A broken pool (worker
+        killed hard) is torn down and rebuilt, so one dying worker does
+        not doom the surviving shards' retries.
+        """
+        workers = self._effective_workers(len(jobs))
+        pool = [ProcessPoolExecutor(max_workers=workers)]
+
+        def submit(job: _ShardJob, attempt: int):
+            return pool[0].submit(_run_shard, job, attempt, self.fault_plan)
+
+        try:
+            pending = {}
+            for job in jobs:
+                self._note_attempt(resilience, job, 1, rng)
+                pending[job.index] = submit(job, 1)
+            outcomes = []
+            for job in jobs:
+                outcomes.append(self._await_job(
+                    job, pending[job.index], submit, pool, workers,
+                    resilience, rng))
+            return outcomes
+        finally:
+            pool[0].shutdown(wait=False, cancel_futures=True)
+
+    def _await_job(self, job: _ShardJob, future, submit, pool,
+                   workers: int, resilience: ResilienceReport,
+                   rng) -> _ShardOutcome:
+        row = resilience.outcome(job.index, len(job.dataset))
+        attempt = row.attempts
+        while True:
+            started = time.perf_counter()
+            try:
+                outcome = _validate_outcome(
+                    job,
+                    future.result(timeout=self.retry_policy.timeout_seconds))
+                row.succeeded = True
+                return outcome
+            except Exception as exc:
+                self._note_failure(resilience, job, exc, started)
+                if isinstance(exc, BrokenExecutor):
+                    # The pool is dead for everyone; replace it so this
+                    # and later retries have somewhere to run.
+                    pool[0].shutdown(wait=False, cancel_futures=True)
+                    pool[0] = ProcessPoolExecutor(max_workers=workers)
+                attempt += 1
+                if attempt > self.retry_policy.max_attempts:
+                    return self._fallback_or_raise(job, resilience, rng, exc)
+                self._note_attempt(resilience, job, attempt, rng)
+                future = submit(job, attempt)
+
+    def _fallback_or_raise(self, job: _ShardJob,
+                           resilience: ResilienceReport, rng,
+                           last_exc: Exception) -> _ShardOutcome:
+        """Graceful degradation: one in-process try before giving up."""
+        row = resilience.outcome(job.index, len(job.dataset))
+        if self.retry_policy.serial_fallback:
+            row.fallback = True
+            attempt = row.attempts + 1
+            self._note_attempt(resilience, job, attempt, rng)
+            started = time.perf_counter()
+            try:
+                outcome = _validate_outcome(
+                    job, _run_shard(job, attempt, self.fault_plan))
+                self._check_serial_timeout(started)
+                row.succeeded = True
+                return outcome
+            except Exception as exc:
+                self._note_failure(resilience, job, exc, started)
+                last_exc = exc
+        raise self._exhausted(job, resilience, last_exc) from last_exc

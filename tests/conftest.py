@@ -1,8 +1,24 @@
-"""Shared fixtures: paper-calibrated statistics and small datasets."""
+"""Shared fixtures: paper-calibrated statistics and small datasets.
+
+Also registers the hypothesis profiles the property-based tests run
+under: ``dev`` (default — few examples, fast local iteration) and
+``ci`` (derandomized with a fixed seed and bounded examples, selected
+in CI with ``--hypothesis-profile=ci`` so property tests are
+deterministic there).
+"""
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci", max_examples=25, deadline=None, derandomize=True,
+    suppress_health_check=list(HealthCheck))
+settings.register_profile(
+    "dev", max_examples=10, deadline=None,
+    suppress_health_check=list(HealthCheck))
+settings.load_profile("dev")
 
 from repro import (
     AttributeSet,

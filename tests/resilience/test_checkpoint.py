@@ -1,0 +1,218 @@
+"""Checkpoint/restore for the live runtime: resume must be invisible.
+
+The contract under test: push half the stream, checkpoint, "kill" the
+process (throw the object away), restore, push the rest — and every
+answer and every :class:`EpochReport` is identical to the uninterrupted
+run.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import QuerySet, StreamSchema, plan
+from repro.core.feeding_graph import FeedingGraph
+from repro.errors import CheckpointError
+from repro.gigascope.online import LiveStreamSystem
+from repro.observability import MetricsRegistry
+from repro.resilience import CHECKPOINT_VERSION
+from repro.resilience.checkpoint import CHECKPOINT_MAGIC
+from repro.workloads import make_group_universe, measure_statistics, uniform_dataset
+
+SCHEMA = StreamSchema(("A", "B", "C", "D"))
+
+
+@pytest.fixture(scope="module")
+def live_dataset():
+    universe = make_group_universe(SCHEMA, (8, 24, 48, 90), value_pool=64,
+                                   seed=7)
+    return uniform_dataset(universe, 4000, duration=9.0, seed=13)
+
+
+@pytest.fixture(scope="module")
+def live_queries():
+    return QuerySet.counts(["AB", "BC"], epoch_seconds=2.0)
+
+
+@pytest.fixture(scope="module")
+def live_plan(live_dataset, live_queries):
+    stats = measure_statistics(live_dataset,
+                               FeedingGraph(live_queries).nodes)
+    return plan(live_queries, stats, memory=800)
+
+
+def push_slice(live, dataset, start, stop):
+    cols = {a: dataset.columns[a][start:stop] for a in SCHEMA.attributes}
+    live.push(cols, dataset.timestamps[start:stop])
+
+
+def run_uninterrupted(dataset, queries, the_plan):
+    live = LiveStreamSystem(SCHEMA, queries, the_plan)
+    live.push_dataset(dataset)
+    live.finish()
+    return live
+
+
+class TestRoundTrip:
+    def test_restore_mid_stream_is_byte_identical(self, live_dataset,
+                                                  live_queries, live_plan,
+                                                  tmp_path):
+        oracle = run_uninterrupted(live_dataset, live_queries, live_plan)
+
+        live = LiveStreamSystem(SCHEMA, live_queries, live_plan)
+        half = len(live_dataset) // 2
+        push_slice(live, live_dataset, 0, half)
+        path = tmp_path / "live.ckpt"
+        live.checkpoint(path)
+        del live  # the "crash"
+
+        restored = LiveStreamSystem.restore(path)
+        assert restored.records_seen == half
+        push_slice(restored, live_dataset, half, len(live_dataset))
+        restored.finish()
+
+        assert restored.epoch_reports == oracle.epoch_reports
+        assert restored.records_seen == oracle.records_seen
+        for query in live_queries:
+            assert restored.answers(query) == oracle.answers(query)
+
+    def test_checkpoint_at_awkward_offsets(self, live_dataset,
+                                           live_queries, live_plan,
+                                           tmp_path):
+        """Mid-epoch cuts leave pending rows in flight; they must
+        survive the round trip too."""
+        oracle = run_uninterrupted(live_dataset, live_queries, live_plan)
+        for cut in (1, 37, 1999, len(live_dataset) - 1):
+            live = LiveStreamSystem(SCHEMA, live_queries, live_plan)
+            push_slice(live, live_dataset, 0, cut)
+            path = tmp_path / f"cut{cut}.ckpt"
+            live.checkpoint(path)
+            restored = LiveStreamSystem.restore(path)
+            push_slice(restored, live_dataset, cut, len(live_dataset))
+            restored.finish()
+            assert restored.epoch_reports == oracle.epoch_reports, cut
+            for query in live_queries:
+                assert restored.answers(query) == oracle.answers(query)
+
+    def test_watermark_and_staged_state_preserved(self, live_dataset,
+                                                  live_queries, live_plan,
+                                                  tmp_path):
+        live = LiveStreamSystem(SCHEMA, live_queries, live_plan)
+        push_slice(live, live_dataset, 0, 1500)
+        path = tmp_path / "wm.ckpt"
+        live.checkpoint(path)
+        restored = LiveStreamSystem.restore(path)
+        assert restored.watermark == live.watermark
+        assert restored.records_seen == live.records_seen
+        assert len(restored.epoch_reports) == len(live.epoch_reports)
+
+    def test_double_restore_from_same_file(self, live_dataset,
+                                           live_queries, live_plan,
+                                           tmp_path):
+        """A checkpoint is a value: restoring twice gives two
+        independent systems with equal answers."""
+        live = LiveStreamSystem(SCHEMA, live_queries, live_plan)
+        push_slice(live, live_dataset, 0, 2000)
+        path = tmp_path / "twice.ckpt"
+        live.checkpoint(path)
+        first = LiveStreamSystem.restore(path)
+        second = LiveStreamSystem.restore(path)
+        for system in (first, second):
+            push_slice(system, live_dataset, 2000, len(live_dataset))
+            system.finish()
+        assert first.epoch_reports == second.epoch_reports
+        for query in live_queries:
+            assert first.answers(query) == second.answers(query)
+
+
+class TestAttachments:
+    def test_controller_and_registry_are_not_serialized(self, live_dataset,
+                                                        live_queries,
+                                                        live_plan,
+                                                        tmp_path):
+        registry = MetricsRegistry()
+        live = LiveStreamSystem(SCHEMA, live_queries, live_plan,
+                                registry=registry)
+        push_slice(live, live_dataset, 0, 1000)
+        path = tmp_path / "attach.ckpt"
+        live.checkpoint(path)
+
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+        assert payload["magic"] == CHECKPOINT_MAGIC
+        assert payload["checkpoint_version"] == CHECKPOINT_VERSION
+        assert "controller" not in payload["state"]
+        assert "registry" not in payload["state"]
+
+        bare = LiveStreamSystem.restore(path)
+        assert bare.registry is None and bare.controller is None
+
+        fresh = MetricsRegistry()
+        attached = LiveStreamSystem.restore(path, registry=fresh)
+        assert attached.registry is fresh
+        push_slice(attached, live_dataset, 1000, len(live_dataset))
+        attached.finish()
+        assert fresh.counters["live.epochs"].value > 0
+
+
+class TestRejection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no such checkpoint"):
+            LiveStreamSystem.restore(tmp_path / "absent.ckpt")
+
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"definitely not pickle")
+        with pytest.raises(CheckpointError):
+            LiveStreamSystem.restore(path)
+
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "magic.ckpt"
+        with path.open("wb") as handle:
+            pickle.dump({"magic": "other-format",
+                         "checkpoint_version": CHECKPOINT_VERSION,
+                         "state": {}}, handle)
+        with pytest.raises(CheckpointError, match="not a live-stream"):
+            LiveStreamSystem.restore(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "version.ckpt"
+        with path.open("wb") as handle:
+            pickle.dump({"magic": CHECKPOINT_MAGIC,
+                         "checkpoint_version": CHECKPOINT_VERSION + 1,
+                         "state": {}}, handle)
+        with pytest.raises(CheckpointError, match="version"):
+            LiveStreamSystem.restore(path)
+
+    def test_missing_state_field(self, live_dataset, live_queries,
+                                 live_plan, tmp_path):
+        live = LiveStreamSystem(SCHEMA, live_queries, live_plan)
+        push_slice(live, live_dataset, 0, 100)
+        path = tmp_path / "partial.ckpt"
+        live.checkpoint(path)
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+        del payload["state"]["records_seen"]
+        with path.open("wb") as handle:
+            pickle.dump(payload, handle)
+        with pytest.raises(CheckpointError, match="records_seen"):
+            LiveStreamSystem.restore(path)
+
+    def test_restored_stream_still_rejects_out_of_order(self,
+                                                        live_dataset,
+                                                        live_queries,
+                                                        live_plan,
+                                                        tmp_path):
+        """The watermark survives: replaying already-seen timestamps
+        after a restore fails exactly as it would have before."""
+        live = LiveStreamSystem(SCHEMA, live_queries, live_plan)
+        push_slice(live, live_dataset, 0, 2000)
+        path = tmp_path / "order.ckpt"
+        live.checkpoint(path)
+        restored = LiveStreamSystem.restore(path)
+        cols = {a: live_dataset.columns[a][:1]
+                for a in SCHEMA.attributes}
+        stale = np.array([restored.watermark - 1.0])
+        with pytest.raises(Exception, match="out of order|order"):
+            restored.push(cols, stale)

@@ -1,0 +1,72 @@
+"""FaultPlan semantics: matching, determinism, serialization."""
+
+import pickle
+
+import pytest
+
+from repro.resilience import FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meltdown")
+
+    def test_wildcards_match_everything(self):
+        spec = FaultSpec("crash", shard=None, attempt=None)
+        assert spec.matches(0, 1) and spec.matches(7, 99)
+
+    def test_pinned_spec_matches_only_its_target(self):
+        spec = FaultSpec("crash", shard=2, attempt=3)
+        assert spec.matches(2, 3)
+        assert not spec.matches(2, 1)
+        assert not spec.matches(1, 3)
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec("delay", shard=1, attempt=2, delay_seconds=0.5)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultPlan:
+    def test_first_match_wins(self):
+        plan = FaultPlan((FaultSpec("crash", shard=0, attempt=1),
+                          FaultSpec("corrupt", shard=None, attempt=1)))
+        assert plan.fault_for(0, 1).kind == "crash"
+        assert plan.fault_for(1, 1).kind == "corrupt"
+        assert plan.fault_for(0, 2) is None
+
+    def test_crash_once_targets_every_shard_once(self):
+        plan = FaultPlan.crash_once(3)
+        for shard in range(3):
+            assert plan.fault_for(shard, 1).kind == "crash"
+            assert plan.fault_for(shard, 2) is None
+
+    def test_crash_always_never_relents(self):
+        plan = FaultPlan.crash_always(1)
+        for attempt in (1, 2, 5, 100):
+            assert plan.fault_for(1, attempt).kind == "crash"
+        assert plan.fault_for(0, 1) is None
+
+    def test_random_plan_is_seed_deterministic(self):
+        a = FaultPlan.random(6, seed=42)
+        b = FaultPlan.random(6, seed=42)
+        assert a == b
+        assert any(FaultPlan.random(6, seed=s) != a for s in range(5))
+
+    def test_random_plan_only_faults_first_attempts(self):
+        plan = FaultPlan.random(8, seed=3, fault_probability=1.0)
+        assert len(plan) == 8
+        for spec in plan.faults:
+            assert spec.attempt == 1
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.random(4, seed=9, kinds=("crash", "delay"),
+                                delay_seconds=0.25)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_pickle_round_trip(self):
+        """Plans ship to worker processes inside the shard job."""
+        plan = FaultPlan.crash_once(4)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert clone.fault_for(2, 1).kind == "crash"

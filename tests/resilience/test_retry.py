@@ -1,0 +1,67 @@
+"""RetryPolicy arithmetic: deterministic backoff, caps, serialization."""
+
+import pytest
+
+from repro.resilience import RetryPolicy
+
+
+class TestBackoff:
+    def test_first_attempt_never_waits(self):
+        policy = RetryPolicy(backoff_base=1.0)
+        assert policy.backoff_seconds(1, policy.rng()) == 0.0
+
+    def test_sequence_is_seed_deterministic(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        seq_a = [a.backoff_seconds(k, rng) for rng in [a.rng()]
+                 for k in range(2, 8)]
+        seq_b = [b.backoff_seconds(k, rng) for rng in [b.rng()]
+                 for k in range(2, 8)]
+        assert seq_a == seq_b
+
+    def test_exponential_growth_up_to_cap(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_multiplier=2.0,
+                             backoff_cap=0.35, jitter=0.0)
+        rng = policy.rng()
+        waits = [policy.backoff_seconds(k, rng) for k in (2, 3, 4, 5)]
+        assert waits[0] == pytest.approx(0.1)
+        assert waits[1] == pytest.approx(0.2)
+        assert waits[2] == pytest.approx(0.35)  # capped, not 0.4
+        assert waits[3] == pytest.approx(0.35)
+
+    def test_jitter_stays_within_declared_band(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.5, backoff_cap=10.0)
+        rng = policy.rng()
+        for attempt in range(2, 20):
+            raw = min(policy.backoff_cap,
+                      policy.backoff_base
+                      * policy.backoff_multiplier ** (attempt - 2))
+            wait = policy.backoff_seconds(attempt, rng)
+            assert raw <= wait < raw * 1.5
+
+    def test_zero_base_disables_waiting(self):
+        policy = RetryPolicy(backoff_base=0.0)
+        rng = policy.rng()
+        assert all(policy.backoff_seconds(k, rng) == 0.0
+                   for k in range(1, 6))
+
+
+class TestPolicyData:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_dict_round_trip_excludes_sleep(self):
+        policy = RetryPolicy(max_attempts=5, timeout_seconds=1.5, seed=3)
+        data = policy.to_dict()
+        assert "sleep" not in data
+        assert RetryPolicy.from_dict(data) == policy
+
+    def test_from_dict_ignores_unknown_keys(self):
+        policy = RetryPolicy.from_dict({"max_attempts": 2,
+                                        "not_a_field": 1})
+        assert policy.max_attempts == 2
