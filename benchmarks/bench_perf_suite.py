@@ -1,0 +1,316 @@
+"""Tracked performance suite: planner and engine fast paths, as JSON.
+
+Times the three layers this repo optimizes and writes a schema-versioned
+``BENCH_perf.json`` at the repo root so the performance trajectory is
+tracked from PR to PR::
+
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py --quick  # CI smoke
+
+Measured cases:
+
+* ``es_allocate_*`` — the ES allocator on the paper's 6-relation
+  configuration, in three flavours: ``scalar_reference`` (a live-timed
+  verbatim replica of the pre-fast-path coordinate descent — the
+  "before" number), ``batched`` (numpy ``cost_many`` sweeps) and
+  ``native`` (the runtime-compiled C kernel, when a compiler exists).
+* ``plan_*`` — end-to-end planner wall time for GS, GCSL and the EPES
+  oracle on the paper workload.
+* ``engine_sweep_*`` — a 4-point bucket-count sweep of the vectorized
+  engine over a synthetic stream, with and without a ``HashCache``.
+
+Every fast path must be *bit-identical* to its reference; the suite
+re-asserts that here (``equivalence`` in the JSON) and exits non-zero on
+any mismatch — timing regressions alone never fail the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.allocation import ExhaustiveAllocator, _ckernel
+from repro.core.choosing.greedy_space import GreedySpace
+from repro.core.configuration import Configuration
+from repro.core.cost_model import CostParameters
+from repro.core.optimizer import plan
+from repro.core.queries import QuerySet
+from repro.core.statistics import RelationStatistics
+from repro.gigascope import HashCache, simulate
+from repro.observability import MetricsRegistry, RunManifest
+from repro.observability.manifest import current_git_sha
+from repro.workloads import paper_synthetic_dataset
+
+SCHEMA = "bench-perf/1"
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+STATS = RelationStatistics.from_counts({
+    "A": 552, "B": 760, "C": 940, "D": 1120,
+    "AB": 1846, "AC": 1520, "CD": 2050, "BC": 1730, "BD": 1940,
+    "ABC": 2117, "BCD": 2520, "ABCD": 2837,
+})
+CONFIG = Configuration.from_notation("(ABCD(AB BCD(BC BD CD)))")
+PARAMS = CostParameters()
+MEMORY = 40_000.0
+QUERIES = QuerySet.counts(["AB", "BC", "BD", "CD"])
+ENGINE_CONFIG = Configuration.from_notation("(ABCD(AB BC CD))")
+
+
+class ScalarReferenceES(ExhaustiveAllocator):
+    """ES with the pre-fast-path scalar descent — the "before" baseline.
+
+    Identical multi-start structure; only the inner loop is the original
+    mutate-and-revert scalar scan, so its wall time is what every
+    ``allocate`` call cost before the batched/native paths existed.
+    """
+
+    def _descend(self, evaluator, stats, memory, spaces, initial_step=None):
+        floors = [float(h) for h in evaluator.entry_units]
+        step = (initial_step if initial_step is not None
+                else self.grid_step) * memory
+        min_step = self.polish_step * memory
+        n = len(spaces)
+        cost = evaluator.cost(spaces)
+        while step >= min_step:
+            improved = True
+            while improved:
+                improved = False
+                for i in range(n):
+                    if spaces[i] - step < floors[i]:
+                        continue
+                    for j in range(n):
+                        if i == j:
+                            continue
+                        spaces[i] -= step
+                        spaces[j] += step
+                        trial = evaluator.cost(spaces)
+                        if trial < cost - 1e-15:
+                            cost = trial
+                            improved = True
+                        else:
+                            spaces[i] += step
+                            spaces[j] -= step
+                        if spaces[i] - step < floors[i]:
+                            break
+            step /= 2.0
+        return spaces
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Time planner and engine fast paths, re-assert their "
+                    "bit-identity, and write BENCH_perf.json.")
+    parser.add_argument("--records", type=int, default=200_000,
+                        help="engine-sweep stream length (default 200k)")
+    parser.add_argument("--reps", type=int, default=5,
+                        help="timed repetitions per case (best kept)")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="JSON output path (default: repo root)")
+    parser.add_argument("--manifest-out", default=None, metavar="PATH",
+                        help="also write a RunManifest JSON carrying the "
+                             "suite's metrics registry")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 40k records, 2 reps")
+    return parser
+
+
+def _time_case(fn, reps: int) -> tuple[float, object]:
+    """Best-of-``reps`` wall time (after one warmup); returns last result."""
+    fn()  # warmup: triggers lazy table builds / kernel compilation
+    best = float("inf")
+    result = None
+    for _ in range(max(1, reps)):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _alloc_key(allocation) -> dict[str, float]:
+    return {str(rel): b for rel, b in allocation.buckets.items()}
+
+
+def _engine_outputs(result, config) -> tuple:
+    counters = {str(rel): (c.arrivals_intra, c.arrivals_flush,
+                           c.evictions_intra, c.evictions_flush)
+                for rel, c in result.counters.relations.items()}
+    hfta = {}
+    for rel in config.relations:
+        if config.children(rel):
+            continue
+        for epoch in result.hfta.epochs(rel):
+            hfta[(str(rel), epoch)] = dict(result.hfta.totals(rel, epoch))
+    return counters, hfta
+
+
+def _planner_cases(reps: int, cases: dict, checks: list) -> None:
+    scalar = ScalarReferenceES()
+    batched = ExhaustiveAllocator(native=False)
+    native = ExhaustiveAllocator()
+
+    scalar_s, scalar_alloc = _time_case(
+        lambda: scalar.allocate(CONFIG, STATS, MEMORY, PARAMS), reps)
+    batched_s, batched_alloc = _time_case(
+        lambda: batched.allocate(CONFIG, STATS, MEMORY, PARAMS), reps)
+    cases["es_allocate_scalar_reference"] = {
+        "seconds": scalar_s, "per_call_ms": scalar_s * 1e3,
+        "meta": {"relations": len(CONFIG), "memory": MEMORY}}
+    cases["es_allocate_batched"] = {
+        "seconds": batched_s, "per_call_ms": batched_s * 1e3,
+        "meta": {"speedup_vs_scalar": scalar_s / batched_s}}
+    checks.append({
+        "name": "es_batched_equals_scalar_reference",
+        "ok": _alloc_key(batched_alloc) == _alloc_key(scalar_alloc)})
+
+    if _ckernel.kernel_available():
+        native_s, native_alloc = _time_case(
+            lambda: native.allocate(CONFIG, STATS, MEMORY, PARAMS), reps)
+        cases["es_allocate_native"] = {
+            "seconds": native_s, "per_call_ms": native_s * 1e3,
+            "meta": {"speedup_vs_scalar": scalar_s / native_s}}
+        checks.append({
+            "name": "es_native_equals_scalar_reference",
+            "ok": _alloc_key(native_alloc) == _alloc_key(scalar_alloc)})
+    else:
+        cases["es_allocate_native"] = {
+            "seconds": None, "per_call_ms": None,
+            "meta": {"skipped": "no C compiler available"}}
+
+    for algorithm in ("gs", "gcsl", "epes"):
+        seconds, _ = _time_case(
+            lambda a=algorithm: plan(QUERIES, STATS, MEMORY, algorithm=a),
+            reps)
+        cases[f"plan_{algorithm}"] = {
+            "seconds": seconds, "per_call_ms": seconds * 1e3,
+            "meta": {"memory": MEMORY,
+                     "queries": [str(q) for q in QUERIES]}}
+
+    cached = GreedySpace().choose(QUERIES, STATS, MEMORY, PARAMS)
+    plain = GreedySpace(cache_benefits=False).choose(QUERIES, STATS, MEMORY,
+                                                     PARAMS)
+    checks.append({
+        "name": "gs_benefit_cache_parity",
+        "ok": (cached.cost == plain.cost
+               and _alloc_key(cached.allocation)
+               == _alloc_key(plain.allocation)
+               and [str(s.phantom) for s in cached.trajectory]
+               == [str(s.phantom) for s in plain.trajectory])})
+
+
+def _engine_cases(records: int, reps: int, cases: dict,
+                  checks: list) -> None:
+    dataset = paper_synthetic_dataset(n_records=records, seed=11)
+    bases = (500, 600, 700, 800)
+
+    def buckets(base):
+        return {rel: base + 37 * i
+                for i, rel in enumerate(ENGINE_CONFIG.relations)}
+
+    def sweep(cache=None):
+        results = []
+        for base in bases:
+            results.append(simulate(dataset, ENGINE_CONFIG, buckets(base),
+                                    epoch_seconds=5.0, hash_cache=cache))
+        return results
+
+    plain_s, plain_results = _time_case(sweep, reps)
+    warm_cache = HashCache()
+    sweep(warm_cache)  # populate once; timed reps below are all hits
+    cached_s, cached_results = _time_case(lambda: sweep(warm_cache), reps)
+
+    per_point = records * len(bases)
+    cases["engine_sweep_uncached"] = {
+        "seconds": plain_s,
+        "records_per_sec": per_point / plain_s,
+        "meta": {"records": records, "sweep_points": len(bases)}}
+    cases["engine_sweep_hash_cached"] = {
+        "seconds": cached_s,
+        "records_per_sec": per_point / cached_s,
+        "meta": {"speedup_vs_uncached": plain_s / cached_s,
+                 "cache_hits": warm_cache.hits,
+                 "cache_misses": warm_cache.misses}}
+    ok = all(
+        _engine_outputs(a, ENGINE_CONFIG) == _engine_outputs(b,
+                                                             ENGINE_CONFIG)
+        for a, b in zip(plain_results, cached_results))
+    checks.append({"name": "engine_hash_cache_parity", "ok": ok})
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        args.records = min(args.records, 40_000)
+        args.reps = min(args.reps, 2)
+
+    registry = MetricsRegistry()
+    cases: dict[str, dict] = {}
+    checks: list[dict] = []
+
+    print("timing planner cases...")
+    _planner_cases(args.reps, cases, checks)
+    print("timing engine sweep...")
+    _engine_cases(args.records, args.reps, cases, checks)
+
+    for name, case in cases.items():
+        if case.get("seconds") is not None:
+            registry.gauge(f"bench.{name}.seconds").set(case["seconds"])
+    for check in checks:
+        registry.counter(
+            f"bench.equivalence.{check['name']}."
+            f"{'ok' if check['ok'] else 'FAILED'}").inc()
+
+    all_ok = all(check["ok"] for check in checks)
+    result = {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "git_sha": current_git_sha(),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+            "c_kernel": _ckernel.kernel_available(),
+        },
+        "settings": {"records": args.records, "reps": args.reps,
+                     "quick": args.quick},
+        "cases": cases,
+        "equivalence": {"ok": all_ok, "checks": checks},
+    }
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    for name, case in cases.items():
+        if case.get("seconds") is None:
+            print(f"{name:>32}: skipped ({case['meta'].get('skipped')})")
+        elif "per_call_ms" in case:
+            print(f"{name:>32}: {case['per_call_ms']:.3f} ms/call")
+        else:
+            print(f"{name:>32}: {case['seconds']:.3f} s "
+                  f"({case['records_per_sec'] / 1e6:.2f}M rec/s)")
+
+    if args.manifest_out:
+        manifest = RunManifest.collect(
+            registry=registry,
+            extra={"benchmark": "perf_suite", "schema": SCHEMA,
+                   "records": args.records, "quick": args.quick})
+        print(f"wrote {manifest.write(args.manifest_out)}")
+
+    if not all_ok:
+        failed = [c["name"] for c in checks if not c["ok"]]
+        print(f"EQUIVALENCE FAILURES: {failed}", file=sys.stderr)
+        return 1
+    print(f"equivalence: all {len(checks)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,22 @@ in the bucket counts (convex in log space) and find the optimum by
 multi-start coordinate descent over the same grid, polished to sub-grid
 resolution. Tests verify the descent matches the true grid wherever both
 run.
+
+Evaluation is tiered for speed, all tiers bit-identical to the scalar
+reference (asserted by tests, not assumed):
+
+* :meth:`CostEvaluator.cost_many` scores a whole batch of space vectors
+  with numpy, mirroring the scalar float ops lane-for-lane (left-to-right
+  accumulation, same lerp) so batched decisions match scalar ones exactly.
+* :meth:`ExhaustiveAllocator._descend` scans whole sweeps of (i, j) trial
+  moves per ``cost_many`` call, simulating the scalar loop's
+  mutate-and-revert arithmetic so even its rounding quirks are preserved;
+  trials are evaluated on copies, so a raising collision model can no
+  longer corrupt the caller's space vector.
+* When a C compiler is available the entire descent runs natively
+  (:mod:`repro.core.allocation._ckernel`), which is what makes ES usable
+  as an online reference; set ``native=False`` or ``REPRO_NO_CKERNEL`` to
+  force the numpy path.
 """
 
 from __future__ import annotations
@@ -16,6 +32,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Iterator, Sequence
+
+import numpy as np
 
 from repro.core.attributes import AttributeSet
 from repro.core.allocation.base import (
@@ -34,13 +52,22 @@ from repro.errors import AllocationError
 
 __all__ = ["CostEvaluator", "ExhaustiveAllocator", "compositions"]
 
+#: Improvement threshold of the coordinate descent (matches the scalar
+#: reference; a trial must beat the incumbent by more than this).
+_IMPROVE_EPS = 1e-15
+
+#: Rows per ``cost_many`` chunk when scanning the literal grid.
+_GRID_CHUNK = 16384
+
 
 class CostEvaluator:
     """Fast Eq. 7 evaluation for space vectors over a fixed configuration.
 
     Precomputes the structural arrays once so that each evaluation is a
     simple loop — the exhaustive search calls this tens of thousands of
-    times.
+    times. :meth:`cost_many` scores a whole ``(m, n)`` batch of space
+    vectors at once with the same per-lane float operations as the scalar
+    :meth:`cost`, so the two are bitwise interchangeable.
     """
 
     def __init__(self, config: Configuration, stats: RelationStatistics,
@@ -65,6 +92,12 @@ class CostEvaluator:
         ]
         self.c1 = params.probe_cost
         self.c2 = params.evict_cost
+        self._groups_arr = np.asarray(self.groups, dtype=np.float64)
+        self._entry_arr = np.asarray(self.entry_units, dtype=np.float64)
+        self._flow_arr = np.asarray(self.flow_div, dtype=np.float64)
+        self._parent_arr = np.asarray(self.parent_index, dtype=np.int64)
+        self._leaf_arr = np.asarray(self.is_leaf, dtype=np.uint8)
+        self._groups_valid = self._groups_arr > 1.0
 
     def rates(self, spaces: Sequence[float]) -> list[float]:
         """Collision rates per relation for a space vector (units)."""
@@ -87,6 +120,76 @@ class CostEvaluator:
             probe += coeff[i]
             if self.is_leaf[i]:
                 evict += coeff[i] * x[i]
+        return probe * self.c1 + evict * self.c2
+
+    def _model_rates(self, buckets_2d: np.ndarray) -> np.ndarray:
+        if type(self.model) is LookupModel:
+            return self._lookup_rates(buckets_2d)
+        groups = np.broadcast_to(self._groups_arr, buckets_2d.shape)
+        vectorized = getattr(self.model, "rates", None)
+        if vectorized is not None:
+            return np.array(vectorized(groups, buckets_2d), dtype=np.float64)
+        rate = self.model.rate
+        flat = [rate(g, b) for g, b in zip(groups.ravel().tolist(),
+                                           buckets_2d.ravel().tolist())]
+        return np.asarray(flat, dtype=np.float64).reshape(buckets_2d.shape)
+
+    def _lookup_rates(self, buckets_2d: np.ndarray) -> np.ndarray:
+        # Lean inline of LookupModel.rates for the descent hot loop: same
+        # float ops, fewer temporaries than the general broadcast version.
+        table = self.model.table_array
+        tstep = self.model.table_step
+        positive = buckets_2d > 0
+        valid = positive & self._groups_valid
+        safe = np.where(positive, buckets_2d, 1.0)
+        position = self._groups_arr / safe
+        position /= tstep
+        hi = position >= float(table.size - 1)
+        invalid = ~valid
+        idx = np.where(hi | invalid, 0.0, position).astype(np.int64)
+        frac = position - idx
+        left = table[idx]
+        right = table[idx + 1]
+        left *= 1.0 - frac
+        right *= frac
+        left += right
+        np.copyto(left, table[-1], where=hi)
+        np.copyto(left, 0.0, where=invalid)
+        return left
+
+    def cost_many(self, spaces_2d) -> np.ndarray:
+        """Eq. 7 cost for each row of an ``(m, n)`` space matrix.
+
+        Lane ``k`` performs exactly the float operations of
+        ``cost(spaces_2d[k])`` — accumulation stays left-to-right per
+        relation rather than using pairwise ``np.sum`` — so batched and
+        scalar evaluation never disagree in the last ulp.
+        """
+        spaces = np.asarray(spaces_2d, dtype=np.float64)
+        if spaces.ndim != 2:
+            raise ValueError("cost_many expects an (m, n) space matrix")
+        m, n = spaces.shape
+        if n != len(self.relations):
+            raise ValueError(
+                f"space matrix has {n} columns for {len(self.relations)} "
+                "relations")
+        buckets = spaces / self._entry_arr
+        x = self._model_rates(buckets)
+        np.divide(x, self._flow_arr, out=x)
+        np.maximum(x, 0.0, out=x)
+        np.minimum(x, 1.0, out=x)
+        coeff = np.empty_like(x)
+        probe = np.zeros(m, dtype=np.float64)
+        evict = np.zeros(m, dtype=np.float64)
+        for i, parent in enumerate(self.parent_index):
+            column = coeff[:, i]
+            if parent >= 0:
+                np.multiply(coeff[:, parent], x[:, parent], out=column)
+            else:
+                column[:] = 1.0
+            probe += column
+            if self.is_leaf[i]:
+                evict += column * x[:, i]
         return probe * self.c1 + evict * self.c2
 
     def to_allocation(self, spaces: Sequence[float]) -> Allocation:
@@ -130,6 +233,11 @@ class ExhaustiveAllocator:
         precomputed ``x(g/b)`` lookup (Section 4.4). The coordinate
         descent relies on the objective being near-convex, which holds
         for any monotone concave rate curve.
+    native:
+        Allow the runtime-compiled C descent kernel when the model is the
+        plain :class:`LookupModel` and a compiler is available; falls back
+        to the batched numpy path otherwise (both are bit-identical to
+        the scalar reference).
     """
 
     grid_step: float = 0.01
@@ -138,6 +246,7 @@ class ExhaustiveAllocator:
     model: CollisionModel | None = None
     clustered: bool = True
     name: str = "ES"
+    native: bool = True
 
     def allocate(self, config: Configuration, stats: RelationStatistics,
                  memory: float, params: CostParameters) -> Allocation:
@@ -168,17 +277,37 @@ class ExhaustiveAllocator:
                     for h in evaluator.entry_units]
         best_cost = float("inf")
         best: tuple[int, ...] | None = None
+        chunk: list[tuple[int, ...]] = []
         for combo in compositions(steps, len(evaluator.relations), minimums):
-            spaces = [k * unit for k in combo]
-            cost = evaluator.cost(spaces)
-            if cost < best_cost:
-                best_cost = cost
-                best = combo
+            chunk.append(combo)
+            if len(chunk) >= _GRID_CHUNK:
+                best_cost, best = self._best_grid_point(
+                    evaluator, chunk, unit, best_cost, best)
+                chunk = []
+        if chunk:
+            best_cost, best = self._best_grid_point(
+                evaluator, chunk, unit, best_cost, best)
         if best is None:
             raise AllocationError(
                 "grid too coarse to give every relation a bucket; lower "
                 "grid_step or raise memory")
         return tuple(k * unit for k in best)
+
+    @staticmethod
+    def _best_grid_point(evaluator: CostEvaluator,
+                         chunk: list[tuple[int, ...]], unit: float,
+                         best_cost: float,
+                         best: tuple[int, ...] | None
+                         ) -> tuple[float, tuple[int, ...] | None]:
+        rows = np.asarray(chunk, dtype=np.float64) * unit
+        costs = evaluator.cost_many(rows)
+        # argmin over NaN-masked costs picks the same first-strict-minimum
+        # the scalar scan would; NaNs never win (scalar `<` is False).
+        ranked = np.where(np.isnan(costs), np.inf, costs)
+        k = int(np.argmin(ranked))
+        if costs[k] < best_cost:
+            return float(costs[k]), chunk[k]
+        return best_cost, best
 
     # ------------------------------------------------------------------
     # Coordinate descent (large configurations and polish)
@@ -190,31 +319,127 @@ class ExhaustiveAllocator:
         step = (initial_step if initial_step is not None
                 else self.grid_step) * memory
         min_step = self.polish_step * memory
-        n = len(spaces)
-        cost = evaluator.cost(spaces)
+        base = [float(v) for v in spaces]
+        if step < min_step:
+            return base
+        if self.native and type(evaluator.model) is LookupModel:
+            from repro.core.allocation import _ckernel
+            if _ckernel.kernel_available():
+                return _ckernel.descend(
+                    base, floors, evaluator._groups_arr,
+                    evaluator._entry_arr, evaluator._flow_arr,
+                    evaluator._parent_arr, evaluator._leaf_arr,
+                    evaluator.c1, evaluator.c2,
+                    evaluator.model.table_array, evaluator.model.table_step,
+                    step, min_step)
+        return self._descend_batched(evaluator, base, floors, step, min_step)
+
+    def _descend_batched(self, evaluator: CostEvaluator, base: list[float],
+                         floors: list[float], step: float,
+                         min_step: float) -> list[float]:
+        n = len(base)
+        cost = evaluator.cost(base)
         while step >= min_step:
             improved = True
             while improved:
                 improved = False
-                for i in range(n):
-                    if spaces[i] - step < floors[i]:
-                        continue
-                    for j in range(n):
-                        if i == j:
-                            continue
-                        spaces[i] -= step
-                        spaces[j] += step
-                        trial = evaluator.cost(spaces)
-                        if trial < cost - 1e-15:
-                            cost = trial
-                            improved = True
-                        else:
-                            spaces[i] += step
-                            spaces[j] -= step
-                        if spaces[i] - step < floors[i]:
+                pos: tuple[int, int] | None = (0, 0)
+                while pos is not None:
+                    cands, rows, end_base = self._scan_moves(
+                        base, floors, step, n, pos)
+                    if not cands:
+                        base = end_base
+                        break
+                    costs = evaluator.cost_many(rows)
+                    hit = None
+                    threshold = cost - _IMPROVE_EPS
+                    for k in range(len(cands)):
+                        if costs[k] < threshold:
+                            hit = k
                             break
+                    if hit is None:
+                        base = end_base
+                        pos = None
+                    else:
+                        i, j = cands[hit]
+                        base = [float(v) for v in rows[hit]]
+                        cost = float(costs[hit])
+                        improved = True
+                        pos = ((i + 1, 0) if base[i] - step < floors[i]
+                               else (i, j + 1))
             step /= 2.0
-        return spaces
+        return base
+
+    @staticmethod
+    def _scan_moves(base: list[float], floors: list[float], step: float,
+                    n: int, pos: tuple[int, int]
+                    ) -> tuple[list[tuple[int, int]], np.ndarray,
+                               list[float]]:
+        """Enumerate the scalar scan's remaining (i, j) trials from ``pos``.
+
+        Trial rows are built against a working vector that replays the
+        scalar loop's ``-= step`` / ``+= step`` revert after every trial
+        (assuming rejection — valid for every row before the first accept,
+        which is the only prefix the caller consumes). This keeps the
+        sub-ulp drift of lossy reverts identical to the reference, so the
+        batched scan visits the exact same float states.
+        """
+        i0, j0 = pos
+        # Fast path: when every coordinate round-trips the mutate/revert
+        # exactly, the working vector provably never drifts, the mid-row
+        # floor break can never fire, and the whole scan is plain (i, j)
+        # enumeration over a constant base — built vectorized.
+        if all((v - step) + step == v and (v + step) - step == v
+               for v in base):
+            cands = []
+            for i in range(i0, n):
+                if i == i0 and j0 > 0:
+                    cands.extend((i, j) for j in range(j0, n) if j != i)
+                    continue
+                if base[i] - step < floors[i]:
+                    continue
+                cands.extend((i, j) for j in range(n) if j != i)
+            if not cands:
+                return cands, np.empty((0, n), dtype=np.float64), list(base)
+            m = len(cands)
+            matrix = np.empty((m, n), dtype=np.float64)
+            matrix[:] = base
+            rindex = np.arange(m)
+            pairs = np.array(cands, dtype=np.intp)
+            matrix[rindex, pairs[:, 0]] -= step
+            matrix[rindex, pairs[:, 1]] += step
+            return cands, matrix, list(base)
+        work = list(base)
+        cands = []
+        rows: list[list[float]] = []
+        i = i0
+        resumed = j0 > 0
+        while i < n:
+            if not resumed and work[i] - step < floors[i]:
+                i += 1
+                continue
+            j = j0 if resumed else 0
+            resumed = False
+            while j < n:
+                if j == i:
+                    j += 1
+                    continue
+                lowered = work[i] - step
+                raised = work[j] + step
+                trial = list(work)
+                trial[i] = lowered
+                trial[j] = raised
+                cands.append((i, j))
+                rows.append(trial)
+                work[i] = lowered + step
+                work[j] = raised - step
+                if work[i] - step < floors[i]:
+                    break
+                j += 1
+            i += 1
+        matrix = (np.asarray(rows, dtype=np.float64) if rows
+                  else np.empty((0, n), dtype=np.float64))
+        return cands, matrix, work
 
     def _multistart_spaces(self, evaluator: CostEvaluator,
                            config: Configuration, stats: RelationStatistics,

@@ -34,12 +34,24 @@ __all__ = ["GreedySpace"]
 
 @dataclass(frozen=True)
 class GreedySpace:
-    """The GS algorithm with table sizes fixed at ``phi * g`` buckets."""
+    """The GS algorithm with table sizes fixed at ``phi * g`` buckets.
+
+    ``cache_benefits`` (default on) reuses each candidate's benefit across
+    rounds: under phi-sizing every relation's collision rate depends only
+    on itself, so Eq. 7 is additive and a candidate's benefit involves
+    only its ancestor chain plus the children it would capture. A cached
+    benefit is dropped only when the accepted phantom is comparable to
+    the candidate or attaches under the same parent and steals overlapping
+    children; all other insertions provably leave it unchanged. Cached
+    rounds skip the ``with_phantom`` + full-cost re-evaluation entirely;
+    equivalence with the uncached scan is asserted by tests.
+    """
 
     phi: float = 1.0
     model: CollisionModel = field(default_factory=LookupModel)
     clustered: bool = True
     min_benefit: float = 1e-12
+    cache_benefits: bool = True
 
     def __post_init__(self) -> None:
         if self.phi <= 0:
@@ -82,27 +94,59 @@ class GreedySpace:
                                  self._distributed_cost(config, stats,
                                                         memory, params))]
         remaining = [p for p in graph.phantoms if stats.has(p)]
+        # Used space is maintained incrementally: the base configuration is
+        # summed once and each accepted phantom adds exactly the `extra`
+        # the budget check already priced in.
+        used = self._phi_space(config, stats)
+        # phantom -> (benefit per unit or None if uninstantiable, attach
+        # signature). Under phi-sizing Eq. 7 is additive and a candidate's
+        # benefit involves only its ancestor chain plus the children it
+        # would capture, so an entry stays valid until an accepted phantom
+        # is comparable to it or competes for the same captured children.
+        cache: dict[AttributeSet,
+                    tuple[float | None,
+                          tuple[AttributeSet | None,
+                                frozenset[AttributeSet]]]] = {}
         while remaining:
-            used = self._phi_space(config, stats)
             best = None
             for phantom in remaining:
                 extra = (max(self.phi * stats.group_count(phantom), 1.0)
                          * stats.entry_units(phantom))
                 if used + extra > memory:
                     continue
-                try:
-                    trial_config = config.with_phantom(phantom)
-                except ConfigurationError:
+                entry = cache.get(phantom) if self.cache_benefits else None
+                if entry is not None:
+                    benefit_per_unit = entry[0]
+                else:
+                    signature = self._attach_signature(config, phantom)
+                    try:
+                        trial_config = config.with_phantom(phantom)
+                    except ConfigurationError:
+                        benefit_per_unit = None
+                    else:
+                        trial_cost = self._cost(trial_config, stats, params)
+                        benefit_per_unit = (cost - trial_cost) / extra
+                    if self.cache_benefits:
+                        cache[phantom] = (benefit_per_unit, signature)
+                if benefit_per_unit is None:
                     continue
-                trial_cost = self._cost(trial_config, stats, params)
-                benefit_per_unit = (cost - trial_cost) / extra
                 if best is None or benefit_per_unit > best[0]:
-                    best = (benefit_per_unit, phantom, trial_config,
-                            trial_cost)
+                    best = (benefit_per_unit, phantom, extra)
             if best is None or best[0] <= self.min_benefit:
                 break
-            _, chosen, config, cost = best
+            _, chosen, extra = best
+            entry = cache.pop(chosen, None)
+            chosen_sig = (entry[1] if entry is not None
+                          else self._attach_signature(config, chosen))
+            config = config.with_phantom(chosen)
+            cost = self._cost(config, stats, params)
+            used += extra
             remaining.remove(chosen)
+            for other, (_, other_sig) in list(cache.items()):
+                if (other < chosen or chosen < other
+                        or (other_sig[0] == chosen_sig[0]
+                            and other_sig[1] & chosen_sig[1])):
+                    del cache[other]
             trajectory.append(ChoiceStep(
                 chosen, config,
                 self._distributed_cost(config, stats, memory, params)))
@@ -110,6 +154,31 @@ class GreedySpace:
         final_cost = per_record_cost(config, stats, allocation.buckets,
                                      self.model, params, self.clustered)
         return ChoiceResult(config, allocation, final_cost, tuple(trajectory))
+
+    @staticmethod
+    def _attach_signature(
+        config: Configuration, phantom: AttributeSet,
+    ) -> tuple[AttributeSet | None, frozenset[AttributeSet]]:
+        """Where ``with_phantom(phantom)`` would attach and what it captures.
+
+        Mirrors ``with_phantom``: the phantom nests under its minimal
+        instantiated strict superset (``None`` when it becomes a raw root)
+        and captures that parent's children — or the raw roots — that it
+        strictly contains. Under phi-sizing a candidate's benefit depends
+        only on this signature's surroundings: its ancestor chain can only
+        change via a comparable insertion, and its captured subtrees can
+        only change via a comparable insertion or a same-parent sibling
+        stealing overlapping children.
+        """
+        supersets = [r for r in config.relations if phantom < r]
+        if supersets:
+            minimal = [s for s in supersets
+                       if not any(t < s for t in supersets)]
+            parent = min(minimal, key=AttributeSet.sort_key)
+            captured = frozenset(c for c in config.children(parent)
+                                 if c < phantom)
+            return parent, captured
+        return None, frozenset(r for r in config.raw_relations if r < phantom)
 
     def _distributed_cost(self, config: Configuration,
                           stats: RelationStatistics, memory: float,

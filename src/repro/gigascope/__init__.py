@@ -18,6 +18,7 @@ from repro.gigascope.metrics import (
     SimulationResult,
 )
 from repro.gigascope.engine import simulate
+from repro.gigascope.hashing import HashCache
 from repro.gigascope.lfta import SequentialLFTA, run_reference
 from repro.gigascope.runtime import RunReport, StreamSystem
 from repro.gigascope.online import EpochReport, LiveStreamSystem
@@ -44,6 +45,7 @@ __all__ = [
     "RelationCounters",
     "SimulationResult",
     "simulate",
+    "HashCache",
     "SequentialLFTA",
     "run_reference",
     "RunReport",

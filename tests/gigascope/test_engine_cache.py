@@ -1,0 +1,120 @@
+"""The engine hash cache must be invisible in every observable output.
+
+A :class:`HashCache` reuses raw relations' group codes and hash digests
+across simulations of the same dataset; only the ``% buckets`` reduction
+is redone per table size. These tests assert counter-for-counter and
+HFTA-identical results with the cache on and off, across bucket sweeps,
+epoch splits and value aggregation, with randomized datasets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.attributes import AttributeSet
+from repro.core.configuration import Configuration
+from repro.gigascope import HashCache, simulate
+from repro.gigascope.records import Dataset, StreamSchema
+
+
+def _dataset(seed: int, n: int, with_values: bool = False) -> Dataset:
+    rng = np.random.default_rng(seed)
+    columns = {
+        "A": rng.integers(0, 40, n, dtype=np.int64),
+        "B": rng.integers(0, 25, n, dtype=np.int64),
+        "C": rng.integers(0, 12, n, dtype=np.int64),
+        "D": rng.integers(0, 7, n, dtype=np.int64),
+    }
+    times = np.sort(rng.uniform(0.0, 10.0, n))
+    values = ({"v": rng.uniform(0.0, 100.0, n)} if with_values else {})
+    schema = StreamSchema(("A", "B", "C", "D"),
+                          ("v",) if with_values else ())
+    return Dataset(schema, columns, times, values)
+
+
+def _buckets(config: Configuration, base: int) -> dict[AttributeSet, int]:
+    return {rel: base + 11 * i for i, rel in enumerate(config.relations)}
+
+
+def _counters_key(result):
+    return {str(rel): (c.arrivals_intra, c.arrivals_flush,
+                       c.evictions_intra, c.evictions_flush)
+            for rel, c in result.counters.relations.items()}
+
+
+def _hfta_key(result, config: Configuration):
+    out = {}
+    for rel in config.relations:
+        if config.children(rel):
+            continue
+        for epoch in result.hfta.epochs(rel):
+            out[(str(rel), epoch)] = dict(result.hfta.totals(rel, epoch))
+    return out
+
+
+CONFIGS = [
+    Configuration.from_notation("(ABCD(AB BC CD))"),
+    Configuration.from_notation("(ABCD(AB BCD(BC BD CD)))"),
+    Configuration.flat([AttributeSet.parse("AB"), AttributeSet.parse("CD")]),
+]
+
+
+class TestCacheTransparency:
+    @pytest.mark.parametrize("config", CONFIGS, ids=str)
+    def test_sweep_identical_on_and_off(self, config):
+        data = _dataset(3, 4000)
+        cache = HashCache()
+        for base in (50, 90, 200):
+            plain = simulate(data, config, _buckets(config, base),
+                             epoch_seconds=2.5)
+            cached = simulate(data, config, _buckets(config, base),
+                              epoch_seconds=2.5, hash_cache=cache)
+            assert _counters_key(plain) == _counters_key(cached)
+            assert _hfta_key(plain, config) == _hfta_key(cached, config)
+        assert cache.hits > 0 and cache.misses > 0
+
+    def test_value_aggregates_identical(self):
+        config = CONFIGS[0]
+        data = _dataset(11, 3000, with_values=True)
+        cache = HashCache()
+        for base in (60, 120):
+            plain = simulate(data, config, _buckets(config, base),
+                             epoch_seconds=5.0, value_column="v")
+            cached = simulate(data, config, _buckets(config, base),
+                              epoch_seconds=5.0, value_column="v",
+                              hash_cache=cache)
+            assert _hfta_key(plain, config) == _hfta_key(cached, config)
+
+    @given(st.integers(0, 2**31), st.integers(1, 4),
+           st.integers(20, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_randomized_identity(self, seed, n_epochs, base):
+        config = CONFIGS[1]
+        data = _dataset(seed, 1500)
+        epoch_seconds = 10.0 / n_epochs + 1e-9
+        cache = HashCache()
+        plain = simulate(data, config, _buckets(config, base),
+                         epoch_seconds=epoch_seconds)
+        cached = simulate(data, config, _buckets(config, base),
+                          epoch_seconds=epoch_seconds, hash_cache=cache)
+        again = simulate(data, config, _buckets(config, base + 7),
+                         epoch_seconds=epoch_seconds, hash_cache=cache)
+        plain_again = simulate(data, config, _buckets(config, base + 7),
+                               epoch_seconds=epoch_seconds)
+        assert _counters_key(plain) == _counters_key(cached)
+        assert _hfta_key(plain, config) == _hfta_key(cached, config)
+        assert _counters_key(plain_again) == _counters_key(again)
+        assert _hfta_key(plain_again, config) == _hfta_key(again, config)
+
+    def test_cache_counts_hits_per_raw_relation_and_epoch(self):
+        config = CONFIGS[0]  # one raw root
+        data = _dataset(5, 2000)
+        cache = HashCache()
+        simulate(data, config, _buckets(config, 50), epoch_seconds=2.5,
+                 hash_cache=cache)
+        misses_first = cache.misses
+        assert cache.hits == 0
+        simulate(data, config, _buckets(config, 75), epoch_seconds=2.5,
+                 hash_cache=cache)
+        assert cache.misses == misses_first
+        assert cache.hits == misses_first

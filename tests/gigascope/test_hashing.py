@@ -60,10 +60,32 @@ class TestBucketPlacement:
     def test_rejects_bad_buckets(self):
         with pytest.raises(ValueError):
             bucket_indices([np.array([1])], 0, 0)
+        with pytest.raises(ValueError):
+            bucket_of_values([1], 0, 0)
 
     def test_rejects_empty_columns(self):
         with pytest.raises(ValueError):
             bucket_indices([], 0, 10)
+        with pytest.raises(ValueError):
+            bucket_of_values([], 0, 10)
+
+    # The scalar path runs on plain Python ints (no ndarray round-trip),
+    # so bit-identity with the vectorized chain — including numpy's
+    # two's-complement wrap of negative values — needs pinning.
+    @given(st.integers(1, 4),
+           st.integers(0, 2**64 - 1),
+           st.integers(1, 10_000),
+           st.integers(0, 2**32))
+    @settings(max_examples=150, deadline=None)
+    def test_scalar_matches_vectorized_randomized(self, n_cols, salt,
+                                                  buckets, seed):
+        rng = np.random.default_rng(seed)
+        cols = [rng.integers(-2**63, 2**63 - 1, 25, dtype=np.int64)
+                for _ in range(n_cols)]
+        vec = bucket_indices(cols, salt, buckets)
+        for i in range(25):
+            values = [int(c[i]) for c in cols]
+            assert bucket_of_values(values, salt, buckets) == vec[i]
 
 
 class TestPackTuples:
