@@ -44,10 +44,19 @@ from repro.parallel import (
     ShardedStreamSystem,
 )
 from repro.resilience import FaultPlan, ResilienceReport, RetryPolicy
+from repro.service import (
+    AdmissionError,
+    AdmissionPolicy,
+    QueryRegistry,
+    ServiceSLO,
+    StreamService,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
+    "AdmissionPolicy",
     "Aggregate",
     "AggregationQuery",
     "AttributeSet",
@@ -55,8 +64,11 @@ __all__ = [
     "CostParameters",
     "FeedingGraph",
     "Plan",
+    "QueryRegistry",
     "QuerySet",
     "RelationStatistics",
+    "ServiceSLO",
+    "StreamService",
     "plan",
     "Dataset",
     "FaultPlan",

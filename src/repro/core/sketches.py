@@ -144,6 +144,39 @@ class StreamStatisticsCollector:
         self._counters = counters
         self.records_seen = 0
 
+    def ensure(self, relations: Iterable[AttributeSet],
+               counters: int | None = None) -> list[AttributeSet]:
+        """Start tracking any not-yet-tracked relations; returns the new ones.
+
+        The multi-tenant service grows the feeding graph at runtime as
+        tenants register queries; sketches for the new relations start
+        empty here and fill from the next batch on (their estimates are
+        lower bounds until they have seen representative data — admission
+        control compensates with per-attribute product bounds and caller
+        hints). Salts for late additions are derived from the relation
+        label, so estimates are deterministic across processes and
+        restarts regardless of registration order. ``counters`` updates
+        the per-entry counter count used in snapshots (2 once any tenant
+        carries a value sum).
+        """
+        from repro.gigascope.hashing import relation_salt
+        added = []
+        for rel in relations:
+            if rel in self._distinct:
+                continue
+            salt = relation_salt(rel.label(), seed=len(rel))
+            self._distinct[rel] = KMVDistinctCounter(
+                next(iter(self._distinct.values())).k, salt=salt)
+            if self._runs is not None:
+                self._runs[rel] = RunLengthEstimator()
+            added.append(rel)
+        if added:
+            self.relations = sorted(self._distinct,
+                                    key=AttributeSet.sort_key)
+        if counters is not None:
+            self._counters = counters
+        return added
+
     def observe(self, columns: Mapping[str, np.ndarray]) -> None:
         """Absorb one batch given as attribute-name -> column arrays."""
         from repro.gigascope.hashing import combine_columns

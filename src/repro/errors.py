@@ -69,3 +69,36 @@ class CheckpointError(ReproError):
     Raised on unreadable files, wrong magic, or a snapshot whose
     ``checkpoint_version`` this code does not understand.
     """
+
+
+class AdmissionError(ReproError):
+    """A tenant's query was refused by the service's admission control.
+
+    The message names the *binding constraint* — the check that failed —
+    so operators can tell an exhausted global LFTA budget apart from a
+    per-tenant quota or a cost-SLO violation. Admission is all-or-nothing:
+    a rejected registration leaves the registry, the plan, and every
+    already-admitted tenant untouched.
+
+    Attributes
+    ----------
+    constraint:
+        Which limit bound: ``"global-memory"``, ``"tenant-quota"`` or
+        ``"cost-slo"``.
+    tenant:
+        The tenant whose registration was refused.
+    required / limit:
+        The demanded and available amounts in the constraint's own unit
+        (allocation units for space constraints, cost per record for the
+        SLO), when known.
+    """
+
+    def __init__(self, message: str, *, constraint: str,
+                 tenant: str | None = None,
+                 required: float | None = None,
+                 limit: float | None = None):
+        super().__init__(message)
+        self.constraint = constraint
+        self.tenant = tenant
+        self.required = required
+        self.limit = limit

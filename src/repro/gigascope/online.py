@@ -35,6 +35,23 @@ from repro.observability.tracing import trace
 __all__ = ["EpochReport", "LiveStreamSystem"]
 
 
+def _require_plan_covers(queries: QuerySet, plan: Plan) -> None:
+    """One validator for every plan hand-off (init, reconfigure, apply).
+
+    Raises :class:`~repro.errors.ConfigurationError` naming both the
+    queries the plan misses *and* the queries it does instantiate, so a
+    stale plan staged against a changed query set is diagnosable from the
+    message alone.
+    """
+    missing = [q for q in queries.group_bys if q not in plan.configuration]
+    if missing:
+        instantiated = [q for q in queries.group_bys
+                        if q in plan.configuration]
+        raise ConfigurationError(
+            f"plan does not instantiate queries {missing} "
+            f"(it instantiates {instantiated} of the requested set)")
+
+
 @dataclass(frozen=True)
 class EpochReport:
     """Per-epoch accounting emitted as epochs complete."""
@@ -97,33 +114,46 @@ class LiveStreamSystem:
     # Configuration management
     # ------------------------------------------------------------------
     def _apply_plan(self, plan: Plan) -> None:
-        missing = [q for q in self.queries.group_bys
-                   if q not in plan.configuration]
-        if missing:
-            raise ConfigurationError(
-                f"plan does not instantiate queries {missing}")
+        _require_plan_covers(self.queries, plan)
         buckets = {rel: max(int(b), 1)
                    for rel, b in plan.allocation.buckets.items()}
         self.eras.append(_Era(plan.configuration, buckets))
         self._staged_plan: Plan | None = None
+        self._staged_queries: QuerySet | None = None
 
-    def reconfigure(self, plan: Plan) -> None:
+    def reconfigure(self, plan: Plan,
+                    queries: QuerySet | None = None) -> None:
         """Switch plans; takes effect from the next epoch boundary.
 
         The currently open epoch (and everything before it) keeps the old
         configuration — tables are flushed at the boundary, so nothing
         migrates and the swap is free.
+
+        ``queries`` optionally swaps the query set together with the plan
+        (the multi-tenant service registers and retires queries at
+        runtime). The swap lands atomically at the same boundary: the
+        open epoch is still processed under the old queries and old
+        configuration. The new set must keep the system's epoch length —
+        every LFTA table flushes on the one shared epoch clock.
         """
-        missing = [q for q in self.queries.group_bys
-                   if q not in plan.configuration]
-        if missing:
+        target = queries if queries is not None else self.queries
+        if queries is not None and \
+                queries.epoch_seconds != self.epoch_seconds:
             raise ConfigurationError(
-                f"plan does not instantiate queries {missing}")
+                f"staged query set changes the epoch length "
+                f"({queries.epoch_seconds}s != {self.epoch_seconds}s)")
+        _require_plan_covers(target, plan)
         self._staged_plan = plan
+        self._staged_queries = queries
 
     @property
     def configuration(self) -> Configuration:
         return self.eras[-1].configuration
+
+    @property
+    def open_epoch(self) -> int | None:
+        """Epoch id of the currently buffered (unflushed) epoch, if any."""
+        return self._pending_epoch
 
     # ------------------------------------------------------------------
     # Ingest
@@ -268,6 +298,8 @@ class LiveStreamSystem:
                 self.reconfigure(new_plan)
         if self._staged_plan is not None:
             staged = self._staged_plan
+            if self._staged_queries is not None:
+                self.queries = self._staged_queries
             self._apply_plan(staged)
             self.reconfigurations.append((epoch + 1, staged.configuration))
             if self.registry is not None:
@@ -291,19 +323,21 @@ class LiveStreamSystem:
         """
         return self._last_time
 
-    def checkpoint(self, path) -> "Path":
+    def checkpoint(self, path, extra: dict | None = None) -> "Path":
         """Snapshot full mid-stream state to ``path``.
 
         The snapshot (versioned; see
         :mod:`repro.resilience.checkpoint`) captures the eras and their
         cost counters, HFTA partials, the open epoch's buffered records,
-        the watermark, staged plan, and emitted reports — everything
-        required for :meth:`restore` + replay of the remaining stream to
-        be byte-identical to an uninterrupted run. The ``controller``
+        the watermark, the staged plan and staged query set, and emitted
+        reports — everything required for :meth:`restore` + replay of
+        the remaining stream to be byte-identical to an uninterrupted
+        run. ``extra`` rides along as an opaque payload (the stream
+        service stores its tenant registry there). The ``controller``
         and ``registry`` are not serialized; re-attach them on restore.
         """
         from repro.resilience.checkpoint import save_live_checkpoint
-        return save_live_checkpoint(self, path)
+        return save_live_checkpoint(self, path, extra=extra)
 
     @classmethod
     def restore(cls, path, controller=None,

@@ -22,6 +22,7 @@ machine, and the checkpoint format.
 from repro.resilience.checkpoint import (
     CHECKPOINT_VERSION,
     load_live_checkpoint,
+    read_checkpoint_document,
     save_live_checkpoint,
 )
 from repro.resilience.faults import (
@@ -45,5 +46,6 @@ __all__ = [
     "RetryPolicy",
     "ShardOutcome",
     "load_live_checkpoint",
+    "read_checkpoint_document",
     "save_live_checkpoint",
 ]

@@ -6,7 +6,9 @@ eras), the HFTA's accumulated partial aggregates, the open epoch's
 buffered records (the in-flight LFTA state — tables themselves are
 rebuilt per epoch by the engine, so the buffered raw records *are* the
 LFTA's recoverable state), the watermark (last accepted timestamp), the
-staged plan, emitted epoch reports and reconfigurations. Restoring and
+staged plan *and staged query set* (a reconfigure that has not reached
+its epoch boundary yet must survive a restart and still land at that
+boundary), emitted epoch reports and reconfigurations. Restoring and
 replaying the remaining stream therefore reproduces byte-identical
 epoch reports and final answers versus an uninterrupted run.
 
@@ -14,6 +16,14 @@ Format: a pickle whose top level is a plain dict carrying a magic
 string and ``checkpoint_version`` (currently {version}) ahead of the
 state payload, so a reader can reject foreign or future files with a
 :class:`~repro.errors.CheckpointError` instead of a pickle traceback.
+Version history: version 1 predates runtime query-set swaps (no
+``_staged_queries``) and carries no ``extra`` payload; version-1 files
+are still readable — the staged query set defaults to None. The
+``extra`` payload is an opaque caller dict: the multi-tenant
+:class:`~repro.service.StreamService` stores its query registry,
+tenant activation windows and admission configuration there so a
+restart is transparent to tenants.
+
 Two things are deliberately *not* serialized and must be re-attached on
 restore: the adaptive ``controller`` and the metrics ``registry`` (both
 commonly hold unpicklable callbacks, and neither affects answers).
@@ -32,10 +42,10 @@ from pathlib import Path
 from repro.errors import CheckpointError
 
 __all__ = ["CHECKPOINT_MAGIC", "CHECKPOINT_VERSION", "load_live_checkpoint",
-           "save_live_checkpoint"]
+           "read_checkpoint_document", "save_live_checkpoint"]
 
 CHECKPOINT_MAGIC = "repro-live-checkpoint"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 __doc__ = __doc__.format(version=CHECKPOINT_VERSION)
 
@@ -43,13 +53,23 @@ __doc__ = __doc__.format(version=CHECKPOINT_VERSION)
 _STATE_ATTRS = (
     "schema", "queries", "params", "value_column", "salt_seed", "where",
     "epoch_seconds", "hfta", "eras", "epoch_reports", "reconfigurations",
-    "_staged_plan", "_pending_cols", "_pending_vals", "_pending_times",
-    "_pending_epoch", "_last_time", "records_seen",
+    "_staged_plan", "_staged_queries", "_pending_cols", "_pending_vals",
+    "_pending_times", "_pending_epoch", "_last_time", "records_seen",
 )
 
+#: Fields added after version 1, with the value a version-1 snapshot
+#: implies (version 1 predates staged query-set swaps).
+_V1_DEFAULTS = {"_staged_queries": None}
 
-def save_live_checkpoint(system, path: str | Path) -> Path:
-    """Snapshot a live system to ``path``; returns the written path."""
+
+def save_live_checkpoint(system, path: str | Path,
+                         extra: dict | None = None) -> Path:
+    """Snapshot a live system to ``path``; returns the written path.
+
+    ``extra`` is an opaque payload stored alongside the system state
+    (e.g. the stream service's registry); read it back with
+    :func:`read_checkpoint_document`.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     state = {name: getattr(system, name) for name in _STATE_ATTRS}
@@ -57,6 +77,7 @@ def save_live_checkpoint(system, path: str | Path) -> Path:
         "magic": CHECKPOINT_MAGIC,
         "checkpoint_version": CHECKPOINT_VERSION,
         "state": state,
+        "extra": dict(extra) if extra else {},
     }
     tmp = path.with_name(path.name + ".tmp")
     try:
@@ -70,14 +91,13 @@ def save_live_checkpoint(system, path: str | Path) -> Path:
     return path
 
 
-def load_live_checkpoint(path: str | Path, controller=None, registry=None):
-    """Rebuild a :class:`LiveStreamSystem` from a snapshot.
+def read_checkpoint_document(path: str | Path) -> dict:
+    """Read and validate a checkpoint file; returns the full document.
 
-    ``controller`` and ``registry`` re-attach the two un-serialized
-    collaborators; both default to detached (None).
+    The returned dict carries ``state`` (the system attributes, with
+    older versions' missing fields filled with their implied defaults)
+    and ``extra`` (the caller payload, ``{}`` for version-1 files).
     """
-    from repro.gigascope.online import LiveStreamSystem
-
     path = Path(path)
     try:
         with open(path, "rb") as handle:
@@ -93,18 +113,39 @@ def load_live_checkpoint(path: str | Path, controller=None, registry=None):
         raise CheckpointError(
             f"{path} is not a live-stream checkpoint (bad magic)")
     version = document.get("checkpoint_version")
-    if version != CHECKPOINT_VERSION:
+    if version not in (1, CHECKPOINT_VERSION):
         raise CheckpointError(
             f"{path} has checkpoint_version {version!r}; this code "
-            f"reads version {CHECKPOINT_VERSION}")
+            f"reads versions 1..{CHECKPOINT_VERSION}")
     state = document["state"]
+    if version == 1:
+        for name, default in _V1_DEFAULTS.items():
+            state.setdefault(name, default)
+    document.setdefault("extra", {})
     missing = [name for name in _STATE_ATTRS if name not in state]
     if missing:
         raise CheckpointError(
             f"{path} is missing state fields {missing}")
+    return document
+
+
+def _system_from_state(state: dict, controller=None, registry=None):
+    from repro.gigascope.online import LiveStreamSystem
+
     system = LiveStreamSystem.__new__(LiveStreamSystem)
     for name in _STATE_ATTRS:
         setattr(system, name, state[name])
     system.controller = controller
     system.registry = registry
     return system
+
+
+def load_live_checkpoint(path: str | Path, controller=None, registry=None):
+    """Rebuild a :class:`LiveStreamSystem` from a snapshot.
+
+    ``controller`` and ``registry`` re-attach the two un-serialized
+    collaborators; both default to detached (None).
+    """
+    document = read_checkpoint_document(path)
+    return _system_from_state(document["state"], controller=controller,
+                              registry=registry)

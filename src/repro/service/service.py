@@ -1,0 +1,575 @@
+"""The session layer: a long-running multi-tenant stream service.
+
+:class:`StreamService` wraps one
+:class:`~repro.gigascope.online.LiveStreamSystem` and turns it into a
+service tenants talk to:
+
+* **register/retire** — admission-checked (:mod:`.admission`), recorded
+  in the :class:`~repro.service.registry.QueryRegistry`, and turned into
+  a *staged* reconfiguration via the
+  :class:`~repro.service.replan.IncrementalReplanner`. The swap lands at
+  the next epoch boundary; the open epoch is never touched, so registry
+  churn never blocks ingest.
+* **activation windows** — each registration owns a *lease* recording
+  the epoch range in which it was live. A tenant registering mid-stream
+  only sees epochs from its activation on; a retired tenant keeps read
+  access to the window it paid for. Windows align exactly with plan
+  swaps: a pending lease resolves to the epoch recorded by the
+  reconfiguration entry its staging produced, so "active from" always
+  equals "first epoch computed under a plan that includes me".
+* **answers** — per-tenant, rendered from the shared HFTA partials with
+  each tenant's own aggregate and HAVING threshold, filtered to the
+  lease window. Tenants sharing a group-by share physical state but
+  never see each other's epochs outside their own windows.
+* **metrics** — one service-level
+  :class:`~repro.observability.MetricsRegistry` plus one per tenant,
+  mergeable into a single namespaced snapshot.
+* **SLO re-planning** — when measured per-record cost breaches
+  :class:`ServiceSLO`, the service re-plans from fresh sketch statistics
+  (bypassing the replanner cache) and stages the result.
+* **durability** — :meth:`checkpoint` rides the registry, leases,
+  sketches and hints in the live checkpoint's ``extra`` payload;
+  :meth:`restore` brings the whole service back mid-epoch.
+
+Statistics for admission and planning come from a
+:class:`~repro.core.sketches.StreamStatisticsCollector` that grows with
+the feeding graph (``ensure``). Relations no sketch has seen yet are
+bounded by the product of their single-attribute estimates (capped by
+records seen) and by caller-supplied ``expected_groups`` hints, so
+cold-start admission errs toward caution rather than crashing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.attributes import AttributeSet
+from repro.core.cost_model import CostParameters
+from repro.core.feeding_graph import FeedingGraph
+from repro.core.queries import AggregationQuery, QuerySet
+from repro.core.sketches import StreamStatisticsCollector
+from repro.core.statistics import RelationStatistics
+from repro.errors import AdmissionError, CheckpointError, SchemaError
+from repro.gigascope.online import EpochReport, LiveStreamSystem
+from repro.gigascope.records import StreamSchema
+from repro.observability import MetricsRegistry, RunManifest
+from repro.service.admission import AdmissionPolicy, check_admission
+from repro.service.registry import QueryRegistry, Registration
+from repro.service.replan import IncrementalReplanner
+
+__all__ = ["ServiceSLO", "StreamService"]
+
+
+@dataclass(frozen=True)
+class ServiceSLO:
+    """Measured-cost targets that trigger re-planning.
+
+    Parameters
+    ----------
+    max_cost_per_record:
+        Measured intra-epoch cost per record above which the service
+        re-plans from fresh statistics (None disables the trigger).
+    cooldown_epochs:
+        Minimum completed epochs between SLO-triggered re-plans, so one
+        bad epoch cannot thrash the planner.
+    min_records:
+        Epochs smaller than this are ignored (their per-record cost is
+        noise).
+    """
+
+    max_cost_per_record: float | None = None
+    cooldown_epochs: int = 2
+    min_records: int = 100
+
+
+@dataclass
+class _Lease:
+    """One registration's activation window, in epoch ids.
+
+    ``start``/``end`` of ``None`` mean unbounded; a pending index defers
+    resolution until the reconfiguration entry staged for this change
+    lands at an epoch boundary (``reconfigurations[pending][0]`` is then
+    the exact first/last-exclusive epoch of the window).
+    """
+
+    tenant: str
+    query: AggregationQuery
+    start: int | None = None
+    end: int | None = None
+    pending_start: int | None = None
+    pending_end: int | None = None
+    retired: bool = False
+
+    def covers(self, epoch: int) -> bool:
+        if self.pending_start is not None:
+            return False  # not yet activated
+        if self.start is not None and epoch < self.start:
+            return False
+        if self.pending_end is None and self.end is not None \
+                and epoch >= self.end:
+            return False
+        return True
+
+    def window(self) -> dict:
+        return {"tenant": self.tenant,
+                "group_by": self.query.group_by.label(),
+                "start": self.start, "end": self.end,
+                "pending": (self.pending_start is not None
+                            or self.pending_end is not None),
+                "retired": self.retired}
+
+
+class StreamService:
+    """Multi-tenant session layer over a live two-level stream system."""
+
+    def __init__(self, schema: StreamSchema, memory: float,
+                 policy: AdmissionPolicy | None = None,
+                 slo: ServiceSLO | None = None,
+                 params: CostParameters | None = None,
+                 algorithm: str = "gs", phi: float = 1.0,
+                 value_column: str | None = None, salt_seed: int = 0,
+                 sketch_k: int = 256,
+                 metrics: MetricsRegistry | None = None):
+        self.schema = schema
+        self.memory = memory
+        self.policy = policy or AdmissionPolicy(memory=memory)
+        self.slo = slo
+        self.params = params or CostParameters()
+        self.algorithm = algorithm
+        self.phi = phi
+        self.value_column = value_column
+        self.salt_seed = salt_seed
+        self.sketch_k = sketch_k
+        self.metrics = metrics or MetricsRegistry()
+        self.registry = QueryRegistry()
+        self.replanner = IncrementalReplanner(
+            memory, self.params, algorithm=algorithm, phi=phi,
+            clustered=False, metrics=self.metrics)
+        self.live: LiveStreamSystem | None = None
+        self.collector: StreamStatisticsCollector | None = None
+        self._hints: dict[AttributeSet, float] = {}
+        self._leases: dict[tuple[str, str], _Lease] = {}
+        self._tenant_metrics: dict[str, MetricsRegistry] = {}
+        self._epochs_since_replan = 0
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def _counters(self) -> int:
+        return 2 if self.value_column else 1
+
+    def tenant_metrics(self, tenant: str) -> MetricsRegistry:
+        """The tenant's own metrics registry (created on first use)."""
+        registry = self._tenant_metrics.get(tenant)
+        if registry is None:
+            registry = self._tenant_metrics[tenant] = MetricsRegistry()
+        return registry
+
+    def _ensure_collector(self, queries: QuerySet) -> None:
+        graph = FeedingGraph(queries)
+        singles = [AttributeSet.parse(name)
+                   for name in self.schema.attributes]
+        if self.collector is None:
+            self.collector = StreamStatisticsCollector(
+                list(graph.nodes) + singles, k=self.sketch_k,
+                counters=self._counters)
+        else:
+            self.collector.ensure(list(graph.nodes) + singles,
+                                  counters=self._counters)
+
+    def planning_statistics(self, queries: QuerySet) -> RelationStatistics:
+        """Sketch statistics for ``queries``' full feeding graph.
+
+        Cold relations (registered before any data at their granularity)
+        get the most conservative defensible estimate: the product of
+        their single-attribute estimates, capped by the number of
+        records seen, further raised by any ``expected_groups`` hint.
+        """
+        self._ensure_collector(queries)
+        assert self.collector is not None
+        stats = self.collector.statistics()
+        groups = dict(stats.groups)
+        seen = max(self.collector.records_seen, 1)
+        for rel in FeedingGraph(queries).nodes:
+            est = groups.get(rel, 1.0)
+            hint = self._hints.get(rel, 1.0)
+            if est <= 1.0:
+                # Cold sketch: bound by the attribute-wise product, which
+                # can never undercount, capped by the records seen, which
+                # can never be exceeded.
+                bound = 1.0
+                for name in rel:
+                    bound *= groups.get(AttributeSet.parse(name), 1.0)
+                est = max(min(bound, float(seen)), 1.0)
+            groups[rel] = max(est, hint)
+        return RelationStatistics(groups, stats.flow_lengths,
+                                  counters=stats.counters)
+
+    # ------------------------------------------------------------------
+    # Registration lifecycle
+    # ------------------------------------------------------------------
+    def register(self, tenant: str, query: AggregationQuery,
+                 expected_groups: float | None = None) -> Registration:
+        """Admission-check and register one tenant query.
+
+        ``expected_groups`` hints the group count of the query's
+        grouping attributes for admission before data has flowed.
+        Raises :class:`~repro.errors.AdmissionError` on rejection; the
+        registry, the live plan and every other tenant are untouched.
+        """
+        aggregate = query.aggregate
+        if (aggregate.needs_value or aggregate.needs_minmax) \
+                and self.value_column is None:
+            raise SchemaError(
+                f"aggregate {aggregate.label()} needs a value column but "
+                "the service was created without one")
+        if self.registry.epoch_seconds is not None and \
+                query.epoch_seconds != self.registry.epoch_seconds:
+            raise SchemaError(
+                f"query epoch {query.epoch_seconds}s does not match the "
+                f"service epoch {self.registry.epoch_seconds}s")
+        if expected_groups is not None:
+            self._hints[query.group_by] = max(
+                self._hints.get(query.group_by, 1.0),
+                float(expected_groups))
+        candidate = self.registry.physical_query_set(extra=query)
+        stats = self.planning_statistics(candidate)
+        try:
+            check_admission(self.policy, self.registry, tenant, query,
+                            stats, self.params)
+        except AdmissionError:
+            self.metrics.counter("service.rejections").inc()
+            self.tenant_metrics(tenant).counter("rejections").inc()
+            raise
+        registration = self.registry.register(tenant, query)
+        lease = _Lease(tenant, query)
+        key = (tenant, query.group_by.label())
+        previous = self._leases.get(key)
+        self._leases[key] = lease
+        try:
+            self._reconcile(stats=stats, starting=[lease])
+        except Exception:
+            # Admission is a feasibility floor, not a full plan: the
+            # optimizer can still fail (e.g. integer allocation needs
+            # more than the budget). Registration is all-or-nothing,
+            # so unwind to the pre-call state before re-raising.
+            self.registry.retire(tenant, query.group_by)
+            if previous is None:
+                del self._leases[key]
+            else:
+                self._leases[key] = previous
+            self.replanner.invalidate()
+            raise
+        self.metrics.counter("service.registrations").inc()
+        tm = self.tenant_metrics(tenant)
+        tm.counter("registrations").inc()
+        tm.gauge("active_queries").set(len(self.registry.queries_for(tenant)))
+        return registration
+
+    def retire(self, tenant: str,
+               group_by: AttributeSet | str | None = None
+               ) -> list[Registration]:
+        """Retire one query (or all of a tenant's); returns them.
+
+        The tenant keeps read access to the epochs its lease covered.
+        """
+        retired = self.registry.retire(tenant, group_by)
+        ending = []
+        for registration in retired:
+            lease = self._leases.get(
+                (tenant, registration.group_by.label()))
+            if lease is not None:
+                lease.retired = True
+                ending.append(lease)
+        self._reconcile(ending=ending)
+        self.metrics.counter("service.retirements").inc(len(retired))
+        tm = self.tenant_metrics(tenant)
+        tm.counter("retirements").inc(len(retired))
+        tm.gauge("active_queries").set(len(self.registry.queries_for(tenant)))
+        return retired
+
+    # ------------------------------------------------------------------
+    def _boundary_epoch(self) -> int | None:
+        """The first epoch a change staged *now* can affect, if known.
+
+        With an epoch open it is the next one; with data but nothing
+        open it is the epoch after the last completed; before any data
+        the window is unbounded (``None``).
+        """
+        live = self.live
+        if live is None:
+            return None
+        if live.open_epoch is not None:
+            return live.open_epoch + 1
+        if live.epoch_reports:
+            return live.epoch_reports[-1].epoch + 1
+        return None
+
+    def _reconcile(self, stats: RelationStatistics | None = None,
+                   starting: list[_Lease] | None = None,
+                   ending: list[_Lease] | None = None) -> None:
+        """Bring the live plan in line with the registry.
+
+        Stages a reconfiguration when the physical query set changed;
+        resolves or defers the affected leases' window edges so they
+        align with the epoch the change actually lands on.
+        """
+        live = self.live
+        if live is None:
+            # No stream yet: registrations are active from the start,
+            # retirements before any data never were active at all.
+            for lease in ending or []:
+                self._leases.pop(
+                    (lease.tenant, lease.query.group_by.label()), None)
+            return
+        boundary = self._boundary_epoch()
+        if self.registry.is_empty:
+            # Nothing left to plan for; the old tables idle until the
+            # next registration re-plans. Close the leases at the
+            # boundary (or drop them if they never activated).
+            for lease in ending or []:
+                if boundary is None:
+                    self._leases.pop(
+                        (lease.tenant, lease.query.group_by.label()), None)
+                else:
+                    lease.end = boundary
+            self.replanner.invalidate()
+            return
+        target = self.registry.physical_query_set()
+        changed = set(target.group_bys) != set(live.queries.group_bys)
+        staged = live._staged_queries
+        if staged is not None:
+            changed = changed or \
+                set(target.group_bys) != set(staged.group_bys)
+        if changed:
+            if stats is None:
+                stats = self.planning_statistics(target)
+            assert self.collector is not None
+            new_plan, _ = self.replanner.replan(
+                target, stats, token=self.collector.records_seen)
+            live.reconfigure(new_plan, target)
+            idx = len(live.reconfigurations)
+            for lease in starting or []:
+                lease.pending_start = idx
+            for lease in ending or []:
+                lease.pending_end = idx
+        else:
+            for lease in starting or []:
+                lease.start = boundary
+            for lease in ending or []:
+                lease.end = boundary
+        self._resolve_leases()
+
+    def _resolve_leases(self) -> None:
+        live = self.live
+        if live is None:
+            return
+        landed = len(live.reconfigurations)
+        for lease in self._leases.values():
+            if lease.pending_start is not None \
+                    and landed > lease.pending_start:
+                lease.start = live.reconfigurations[lease.pending_start][0]
+                lease.pending_start = None
+            if lease.pending_end is not None \
+                    and landed > lease.pending_end:
+                lease.end = live.reconfigurations[lease.pending_end][0]
+                lease.pending_end = None
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def _ensure_live(self) -> LiveStreamSystem:
+        if self.live is not None:
+            return self.live
+        if self.registry.is_empty:
+            raise SchemaError("cannot ingest: no tenant has registered "
+                              "a query yet")
+        queries = self.registry.physical_query_set()
+        stats = self.planning_statistics(queries)
+        assert self.collector is not None
+        first_plan, _ = self.replanner.replan(
+            queries, stats, token=self.collector.records_seen)
+        self.live = LiveStreamSystem(
+            self.schema, queries, first_plan, self.params,
+            value_column=self.value_column, salt_seed=self.salt_seed,
+            registry=self.metrics)
+        return self.live
+
+    def push(self, columns, timestamps, values=None) -> list[EpochReport]:
+        """Feed one in-order batch; returns completed-epoch reports."""
+        live = self._ensure_live()
+        reports = live.push(columns, timestamps, values)
+        # Sketches only absorb batches the system accepted, so a
+        # rejected batch leaves statistics untouched too.
+        assert self.collector is not None
+        self.collector.observe(
+            {name: columns[name] for name in self.schema.attributes})
+        self.metrics.counter("service.pushes").inc()
+        self._after_epochs(reports)
+        return reports
+
+    def finish(self) -> list[EpochReport]:
+        """Flush the open epoch (end of stream)."""
+        if self.live is None:
+            return []
+        reports = self.live.finish()
+        self._after_epochs(reports)
+        return reports
+
+    def _after_epochs(self, reports: list[EpochReport]) -> None:
+        self._resolve_leases()
+        if not reports:
+            return
+        self._epochs_since_replan += len(reports)
+        self.metrics.counter("service.epochs").inc(len(reports))
+        if self.slo is None or self.slo.max_cost_per_record is None \
+                or self.registry.is_empty:
+            return
+        report = reports[-1]
+        if report.records < self.slo.min_records:
+            return
+        measured = report.per_record_cost
+        if not math.isfinite(measured) \
+                or measured <= self.slo.max_cost_per_record:
+            return
+        if self._epochs_since_replan < self.slo.cooldown_epochs:
+            return
+        target = self.registry.physical_query_set()
+        stats = self.planning_statistics(target)
+        # token=None bypasses the plan cache: the SLO fired because the
+        # model and the stream disagree, so force a fresh plan.
+        new_plan, _ = self.replanner.replan(target, stats, token=None)
+        assert self.live is not None
+        self.live.reconfigure(new_plan, target)
+        self._epochs_since_replan = 0
+        self.metrics.counter("service.slo_replans").inc()
+        self.metrics.event("slo-replan", measured_cost=measured,
+                           limit=self.slo.max_cost_per_record)
+
+    # ------------------------------------------------------------------
+    # Answers
+    # ------------------------------------------------------------------
+    def answers(self, tenant: str) -> dict[str, dict[int, dict]]:
+        """Per-epoch answers for each of the tenant's leases.
+
+        Keyed by group-by label, then epoch id; epochs outside a
+        lease's activation window are filtered out, so a tenant only
+        ever sees epochs computed while its registration was live.
+        """
+        self._resolve_leases()
+        out: dict[str, dict[int, dict]] = {}
+        for (owner, label), lease in self._leases.items():
+            if owner != tenant:
+                continue
+            per_epoch = (self.live.answers(lease.query)
+                         if self.live is not None else {})
+            out[label] = {epoch: answer
+                          for epoch, answer in per_epoch.items()
+                          if lease.covers(epoch)}
+        self.tenant_metrics(tenant).counter("answer_requests").inc()
+        return out
+
+    def leases(self, tenant: str | None = None) -> list[dict]:
+        """Activation windows (all tenants, or one)."""
+        self._resolve_leases()
+        return [lease.window() for lease in self._leases.values()
+                if tenant is None or lease.tenant == tenant]
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> MetricsRegistry:
+        """Service metrics with each tenant's merged in under
+        ``tenant.<name>.``."""
+        merged = MetricsRegistry()
+        merged.merge(self.metrics)
+        for tenant, registry in sorted(self._tenant_metrics.items()):
+            merged.merge(registry, prefix=f"tenant.{tenant}.")
+        return merged
+
+    def manifest(self) -> RunManifest:
+        """A run document for the epochs completed so far."""
+        live = self.live
+        return RunManifest.collect(
+            registry=self.metrics_snapshot(),
+            epoch_reports=live.epoch_reports if live else None,
+            reconfigurations=live.reconfigurations if live else None,
+            extra={"service": {
+                "tenants": self.registry.tenants,
+                "registrations": len(self.registry),
+                "registry_version": self.registry.version,
+                "group_bys": [gb.label()
+                              for gb in self.registry.group_bys()],
+                "leases": self.leases(),
+                "policy": self.policy.to_dict(),
+            }})
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def checkpoint(self, path) -> "object":
+        """Snapshot the live system *and* the service state to ``path``.
+
+        The registry, leases, sketches, hints and construction
+        parameters ride in the checkpoint's ``extra`` payload, so
+        :meth:`restore` resumes mid-epoch with every tenant's window
+        and every admission input intact.
+        """
+        live = self.live
+        if live is None:
+            raise CheckpointError(
+                "nothing to checkpoint: the service has not ingested "
+                "any data yet")
+        payload = {"service": {
+            "registry": self.registry.to_state(),
+            "leases": list(self._leases.values()),
+            "collector": self.collector,
+            "hints": dict(self._hints),
+            "policy": self.policy,
+            "slo": self.slo,
+            "config": {
+                "memory": self.memory,
+                "algorithm": self.algorithm,
+                "phi": self.phi,
+                "value_column": self.value_column,
+                "salt_seed": self.salt_seed,
+                "sketch_k": self.sketch_k,
+                "epochs_since_replan": self._epochs_since_replan,
+            },
+        }}
+        return live.checkpoint(path, extra=payload)
+
+    @classmethod
+    def restore(cls, path,
+                metrics: MetricsRegistry | None = None) -> "StreamService":
+        """Rebuild a service (and its live system) from a checkpoint."""
+        from repro.resilience.checkpoint import (
+            _system_from_state,
+            read_checkpoint_document,
+        )
+        document = read_checkpoint_document(path)
+        payload = document["extra"].get("service")
+        if payload is None:
+            raise CheckpointError(
+                f"{path} is a live-system checkpoint without service "
+                "state; use LiveStreamSystem.restore for it")
+        config = payload["config"]
+        state = document["state"]
+        service = cls(
+            state["schema"], config["memory"], policy=payload["policy"],
+            slo=payload["slo"], params=state["params"],
+            algorithm=config["algorithm"], phi=config["phi"],
+            value_column=config["value_column"],
+            salt_seed=config["salt_seed"], sketch_k=config["sketch_k"],
+            metrics=metrics)
+        service.registry = QueryRegistry.from_state(payload["registry"])
+        service.collector = payload["collector"]
+        service._hints = dict(payload["hints"])
+        service._epochs_since_replan = config["epochs_since_replan"]
+        service._leases = {
+            (lease.tenant, lease.query.group_by.label()): lease
+            for lease in payload["leases"]}
+        service.live = _system_from_state(state, registry=service.metrics)
+        return service

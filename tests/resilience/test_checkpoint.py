@@ -216,3 +216,77 @@ class TestRejection:
         stale = np.array([restored.watermark - 1.0])
         with pytest.raises(Exception, match="out of order|order"):
             restored.push(cols, stale)
+
+
+class TestStagedReconfiguration:
+    """A staged-but-unapplied reconfiguration must survive the trip.
+
+    Regression: the snapshot carries ``_staged_plan`` AND (since
+    version 2) ``_staged_queries``, so a plan/query-set swap staged
+    inside the open epoch still lands at the first boundary after
+    restore, exactly as in the uninterrupted run.
+    """
+
+    def _queries_with_cd(self, live_queries):
+        return QuerySet(list(live_queries)
+                        + list(QuerySet.counts(["CD"], epoch_seconds=2.0)))
+
+    def _staged_plan(self, live_dataset, live_queries):
+        wider = self._queries_with_cd(live_queries)
+        stats = measure_statistics(live_dataset,
+                                   FeedingGraph(wider).nodes)
+        return wider, plan(wider, stats, memory=800)
+
+    def test_staged_swap_applies_after_restore(self, live_dataset,
+                                               live_queries, live_plan,
+                                               tmp_path):
+        wider, staged = self._staged_plan(live_dataset, live_queries)
+
+        def run(interrupt):
+            live = LiveStreamSystem(SCHEMA, live_queries, live_plan)
+            cut = 1500  # strictly inside an epoch
+            push_slice(live, live_dataset, 0, cut)
+            live.reconfigure(staged, wider)
+            if interrupt:
+                path = tmp_path / "staged.ckpt"
+                live.checkpoint(path)
+                del live
+                live = LiveStreamSystem.restore(path)
+                assert live._staged_plan is not None
+                assert live._staged_queries is not None
+            push_slice(live, live_dataset, cut, len(live_dataset))
+            live.finish()
+            return live
+
+        oracle = run(False)
+        restored = run(True)
+        assert restored.reconfigurations == oracle.reconfigurations
+        assert restored.epoch_reports == oracle.epoch_reports
+        # The staged query set landed: the new CD query answers from
+        # the boundary epoch on, in both runs identically.
+        for query in wider:
+            assert restored.answers(query) == oracle.answers(query)
+        cd = list(wider)[-1]
+        assert restored.answers(cd)
+
+    def test_version1_checkpoint_loads_with_no_staged_queries(
+            self, live_dataset, live_queries, live_plan, tmp_path):
+        """Old snapshots predate staged query-set swaps; restoring one
+        fills the implied default instead of crashing."""
+        live = LiveStreamSystem(SCHEMA, live_queries, live_plan)
+        push_slice(live, live_dataset, 0, 1000)
+        path = tmp_path / "v1.ckpt"
+        live.checkpoint(path)
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+        payload["checkpoint_version"] = 1
+        del payload["state"]["_staged_queries"]
+        del payload["extra"]
+        with path.open("wb") as handle:
+            pickle.dump(payload, handle)
+
+        restored = LiveStreamSystem.restore(path)
+        assert restored._staged_queries is None
+        push_slice(restored, live_dataset, 1000, len(live_dataset))
+        restored.finish()
+        assert len(restored.epoch_reports) == 5

@@ -1,0 +1,33 @@
+"""Shared fixtures for the service suite: one stream, query helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AttributeSet, StreamSchema
+from repro.core.queries import AggregationQuery
+from repro.workloads import make_group_universe, uniform_dataset
+
+SCHEMA = StreamSchema(("A", "B", "C", "D"))
+EPOCH = 2.0
+
+
+@pytest.fixture(scope="session")
+def universe():
+    return make_group_universe(SCHEMA, (8, 24, 48, 90), value_pool=64,
+                               seed=7)
+
+
+@pytest.fixture(scope="session")
+def dataset(universe):
+    return uniform_dataset(universe, 6000, duration=9.0, seed=5)
+
+
+def query(group_by: str, **kwargs) -> AggregationQuery:
+    kwargs.setdefault("epoch_seconds", EPOCH)
+    return AggregationQuery(AttributeSet.parse(group_by), **kwargs)
+
+
+def push_slice(service, dataset, start, stop):
+    cols = {a: dataset.columns[a][start:stop] for a in SCHEMA.attributes}
+    return service.push(cols, dataset.timestamps[start:stop])

@@ -1,0 +1,112 @@
+"""Admission control: every rejection names its binding constraint."""
+
+import pytest
+
+from repro import AdmissionError, AdmissionPolicy, QueryRegistry
+from repro.core.statistics import RelationStatistics
+from repro.service.admission import check_admission
+
+from tests.service.conftest import query
+
+STATS = RelationStatistics.from_counts({
+    "A": 8, "B": 24, "C": 48, "D": 90,
+    "AB": 180, "BC": 600, "CD": 2000, "ABCD": 5000,
+    "ABC": 900, "ABD": 1200, "ACD": 2400, "BCD": 3000,
+    "AC": 300, "AD": 500, "BD": 800,
+})
+
+
+def registry_with(*pairs):
+    registry = QueryRegistry()
+    for tenant, gb in pairs:
+        registry.register(tenant, query(gb))
+    return registry
+
+
+class TestGlobalMemory:
+    def test_under_budget_admits(self):
+        policy = AdmissionPolicy(memory=10_000)
+        registry = registry_with(("acme", "AB"))
+        check_admission(policy, registry, "beta", query("BC"), STATS)
+
+    def test_over_budget_names_global_memory(self):
+        # Three tables' one-bucket floor is 9 units; a budget of 8
+        # cannot even instantiate them.
+        policy = AdmissionPolicy(memory=8)
+        registry = registry_with(("acme", "AB"), ("acme", "BC"))
+        with pytest.raises(AdmissionError) as err:
+            check_admission(policy, registry, "beta", query("CD"), STATS)
+        assert err.value.constraint == "global-memory"
+        assert err.value.tenant == "beta"
+        assert err.value.required > err.value.limit
+        assert "global-memory" in str(err.value)
+
+    def test_invalid_policy_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(memory=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(memory=100, phi=0)
+
+
+class TestTenantQuota:
+    def test_quota_binds_on_expensive_query(self):
+        policy = AdmissionPolicy(memory=1_000_000, tenant_quota=500)
+        registry = registry_with(("acme", "AB"))
+        with pytest.raises(AdmissionError) as err:
+            check_admission(policy, registry, "beta", query("CD"), STATS)
+        assert err.value.constraint == "tenant-quota"
+        assert err.value.limit == 500
+
+    def test_sharing_halves_the_price(self):
+        # CD alone prices at 2000 * 3 = 6000 units; joining an existing
+        # sharer halves it to 3000, under a 4000 quota.
+        policy = AdmissionPolicy(memory=1_000_000, tenant_quota=4000)
+        alone = registry_with(("acme", "AB"))
+        with pytest.raises(AdmissionError):
+            check_admission(policy, alone, "beta", query("CD"), STATS)
+        shared = registry_with(("acme", "AB"), ("acme", "CD"))
+        check_admission(policy, shared, "beta", query("CD"), STATS)
+
+    def test_per_tenant_override(self):
+        policy = AdmissionPolicy(memory=1_000_000, tenant_quota=500,
+                                 tenant_quotas={"vip": 50_000})
+        registry = registry_with(("acme", "AB"))
+        check_admission(policy, registry, "vip", query("CD"), STATS)
+        with pytest.raises(AdmissionError):
+            check_admission(policy, registry, "pleb", query("CD"), STATS)
+
+    def test_quota_sums_over_all_held_queries(self):
+        policy = AdmissionPolicy(memory=1_000_000, tenant_quota=2500)
+        registry = registry_with(("acme", "AB"), ("acme", "BC"))
+        # acme already holds AB (540) + BC (1800); ABCD alone would
+        # add 5000 * 5 and blow the quota.
+        with pytest.raises(AdmissionError) as err:
+            check_admission(policy, registry, "acme", query("AC"), STATS)
+        assert err.value.constraint == "tenant-quota"
+
+
+class TestCostSLO:
+    def test_loose_slo_admits(self):
+        policy = AdmissionPolicy(memory=50_000, max_cost_per_record=100.0)
+        registry = registry_with(("acme", "AB"))
+        check_admission(policy, registry, "beta", query("BC"), STATS)
+
+    def test_tight_slo_rejects(self):
+        # A tiny budget spread over two large tables guarantees heavy
+        # collision costs per record.
+        policy = AdmissionPolicy(memory=40, max_cost_per_record=0.01)
+        registry = registry_with(("acme", "AB"))
+        with pytest.raises(AdmissionError) as err:
+            check_admission(policy, registry, "beta", query("CD"), STATS)
+        assert err.value.constraint == "cost-slo"
+        assert err.value.required > 0.01
+
+    def test_rejection_is_all_or_nothing(self):
+        """A rejected candidate leaves the registry untouched."""
+        policy = AdmissionPolicy(memory=40, max_cost_per_record=0.01)
+        registry = registry_with(("acme", "AB"))
+        version = registry.version
+        with pytest.raises(AdmissionError):
+            check_admission(policy, registry, "beta", query("CD"), STATS)
+        assert registry.version == version
+        assert registry.tenants == ["acme"]

@@ -1,0 +1,305 @@
+"""The session layer: churn exactness, admission isolation, staged swaps.
+
+The load-bearing test is the churn oracle: tenants registering and
+retiring at different times must each receive answers *identical* to a
+one-shot offline :func:`~repro.gigascope.engine.simulate` of the whole
+stream, restricted to the epochs their lease covered. Exactness under
+arbitrary plans is the paper's correctness invariant; the service adds
+only the windowing.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdmissionError,
+    AdmissionPolicy,
+    AttributeSet,
+    Configuration,
+    StreamService,
+)
+from repro.core.queries import Aggregate, AggregationQuery
+from repro.errors import AllocationError, SchemaError
+from repro.gigascope.engine import simulate
+from repro.service.service import ServiceSLO
+
+from tests.service.conftest import EPOCH, SCHEMA, push_slice, query
+
+
+def offline_answers(dataset, group_by, epoch_seconds=EPOCH,
+                    aggregate=None, value_column=None):
+    """One-shot oracle: exact per-epoch answers for one query."""
+    q = AggregationQuery(AttributeSet.parse(group_by),
+                        aggregate=aggregate or Aggregate(),
+                        epoch_seconds=epoch_seconds)
+    config = Configuration.flat([q.group_by])
+    result = simulate(dataset, config, {q.group_by: 64}, epoch_seconds,
+                      value_column=value_column)
+    return result.hfta.all_answers(q)
+
+
+class TestChurnExactness:
+    def test_tenants_joining_at_different_times_get_exact_windows(
+            self, dataset):
+        service = StreamService(SCHEMA, memory=800)
+        service.register("early", query("AB"))
+        service.register("early", query("BC"))
+
+        n = len(dataset)
+        cuts = [0, n // 3, 2 * n // 3, n]
+        push_slice(service, dataset, cuts[0], cuts[1])
+        service.register("mid", query("CD"))
+        service.register("mid", query("AB"))
+        push_slice(service, dataset, cuts[1], cuts[2])
+        service.register("late", query("BD"))
+        push_slice(service, dataset, cuts[2], cuts[3])
+        service.finish()
+
+        windows = {(w["tenant"], w["group_by"]): w
+                   for w in service.leases()}
+        # Every registration staged before data keeps the full stream;
+        # later ones activate at the boundary after their registration.
+        assert windows[("early", "AB")]["start"] is None
+        assert windows[("mid", "CD")]["start"] is not None
+        assert windows[("late", "BD")]["start"] > \
+            windows[("mid", "CD")]["start"]
+
+        for tenant in ("early", "mid", "late"):
+            answers = service.answers(tenant)
+            for window in service.leases(tenant):
+                gb = window["group_by"]
+                oracle = offline_answers(dataset, gb)
+                start = window["start"] or 0
+                expected = {e: a for e, a in oracle.items()
+                            if e >= start}
+                assert answers[gb] == expected, (tenant, gb)
+                # The window genuinely excludes pre-activation epochs.
+                if window["start"] is not None:
+                    assert set(oracle) - set(answers[gb])
+
+    def test_sharers_get_identical_answers_from_one_table(self, dataset):
+        service = StreamService(SCHEMA, memory=800)
+        service.register("a", query("AB"))
+        service.register("b", query("AB"))
+        push_slice(service, dataset, 0, len(dataset))
+        service.finish()
+        assert service.answers("a")["AB"] == service.answers("b")["AB"]
+        # One physical query set entry despite two registrations.
+        assert len(service.live.queries.group_bys) == 1
+
+    def test_tenant_having_filter_is_per_tenant(self, dataset):
+        service = StreamService(SCHEMA, memory=800)
+        service.register("all", query("AB"))
+        service.register("top", query("AB", having_min=30))
+        push_slice(service, dataset, 0, len(dataset))
+        service.finish()
+        full = service.answers("all")["AB"]
+        thresholded = service.answers("top")["AB"]
+        assert any(len(thresholded[e]) < len(full[e]) for e in full)
+        for epoch, answer in thresholded.items():
+            assert all(count >= 30 for count in answer.values())
+
+    def test_retired_tenant_keeps_its_window(self, dataset):
+        service = StreamService(SCHEMA, memory=800)
+        service.register("keep", query("AB"))
+        service.register("leaver", query("CD"))
+        half = len(dataset) // 2
+        push_slice(service, dataset, 0, half)
+        service.retire("leaver")
+        push_slice(service, dataset, half, len(dataset))
+        service.finish()
+
+        oracle = offline_answers(dataset, "CD")
+        window = service.leases("leaver")[0]
+        assert window["retired"] is True
+        assert window["end"] is not None
+        got = service.answers("leaver")["CD"]
+        assert got == {e: a for e, a in oracle.items()
+                       if e < window["end"]}
+        assert set(oracle) - set(got)  # later epochs are gone
+        # The surviving tenant still sees everything.
+        assert service.answers("keep")["AB"] == \
+            offline_answers(dataset, "AB")
+
+
+class TestAdmissionIsolation:
+    def test_over_budget_rejection_leaves_existing_tenants_unaffected(
+            self, dataset):
+        service = StreamService(
+            SCHEMA, memory=800,
+            policy=AdmissionPolicy(memory=800, tenant_quota=900))
+        service.register("acme", query("AB"))
+        half = len(dataset) // 2
+        push_slice(service, dataset, 0, half)
+
+        before_version = service.registry.version
+        with pytest.raises(AdmissionError) as err:
+            service.register("hog", query("ABCD"))
+        assert err.value.constraint in ("tenant-quota", "global-memory")
+
+        # Registry, plan and the admitted tenant's stream are untouched.
+        assert service.registry.version == before_version
+        assert service.registry.tenants == ["acme"]
+        assert service.live._staged_plan is None
+        push_slice(service, dataset, half, len(dataset))
+        service.finish()
+        assert service.answers("acme")["AB"] == \
+            offline_answers(dataset, "AB")
+        snapshot = service.metrics_snapshot().to_dict()["counters"]
+        assert snapshot["service.rejections"] == 1
+        assert snapshot["tenant.hog.rejections"] == 1
+
+    def test_readmission_after_rejection_succeeds(self):
+        """A rejected tenant can come back once capacity frees up.
+
+        The one-bucket floor is data-independent (entry units only), so
+        the arithmetic is exact: tables A and B cost 2 units each, ABCD
+        costs 5; a budget of 8 fits {A, B} (4) but not {A, B, ABCD} (9).
+        Retiring B frees enough for {A, ABCD} (7)."""
+        service = StreamService(SCHEMA, memory=8)
+        service.register("acme", query("A"))
+        service.register("acme", query("B"))
+        with pytest.raises(AdmissionError) as err:
+            service.register("bursty", query("ABCD"))
+        assert err.value.constraint == "global-memory"
+        service.retire("acme", "B")
+        service.register("bursty", query("ABCD"))
+        assert "bursty" in service.registry.tenants
+
+    def test_planner_failure_after_admission_rolls_back(self, dataset):
+        """Admission is a feasibility floor; the optimizer's integer
+        allocation can still fail on a budget the floor accepts. The
+        registration must unwind whole — registry, lease, and the
+        ability to keep serving the admitted tenants."""
+        service = StreamService(SCHEMA, memory=4000,
+                                policy=AdmissionPolicy(memory=4000))
+        service.register("acme", query("AB"))
+        service.register("acme", query("CD"))
+        half = len(dataset) // 2
+        push_slice(service, dataset, 0, half)
+
+        with pytest.raises(AllocationError):
+            service.register("hog", query("ABCD"),
+                             expected_groups=10**9)
+        assert service.registry.tenants == ["acme"]
+        assert service.leases("hog") == []
+        assert service.live._staged_plan is None
+
+        push_slice(service, dataset, half, len(dataset))
+        service.finish()
+        assert service.answers("acme")["AB"] == \
+            offline_answers(dataset, "AB")
+
+    def test_value_aggregate_requires_value_column(self):
+        service = StreamService(SCHEMA, memory=800)
+        with pytest.raises(SchemaError, match="value column"):
+            service.register("acme", query(
+                "AB", aggregate=Aggregate("sum", "v")))
+
+
+class TestStagedSwap:
+    def test_registration_mid_epoch_does_not_disturb_open_epoch(
+            self, dataset):
+        """The swap lands at the boundary: the open epoch completes
+        under the old configuration, and ingest continues immediately
+        after the registration (nothing blocks, nothing re-runs)."""
+        service = StreamService(SCHEMA, memory=800)
+        service.register("acme", query("AB"))
+        # Stop mid-epoch: find a cut strictly inside epoch 1.
+        cut = int(np.searchsorted(dataset.timestamps, 1.5 * EPOCH))
+        push_slice(service, dataset, 0, cut)
+        live = service.live
+        config_before = live.configuration
+        open_epoch = live.open_epoch
+        assert open_epoch is not None
+
+        service.register("newbie", query("CD"))
+        # Staged, not applied: same era, same configuration, epoch
+        # still open with its buffered records intact.
+        assert live.configuration is config_before
+        assert live.open_epoch == open_epoch
+        assert live._staged_plan is not None
+        n_eras = len(live.eras)
+
+        push_slice(service, dataset, cut, len(dataset))
+        service.finish()
+        # The swap landed exactly once, at the first boundary.
+        assert len(live.eras) == n_eras + 1
+        assert live.reconfigurations[0][0] == open_epoch + 1
+        assert service.leases("newbie")[0]["start"] == open_epoch + 1
+
+    def test_retiring_last_query_of_a_phantom_drops_it(self, dataset):
+        """S3 edge: phantoms exist to feed queries; when the queries a
+        phantom fed retire, the re-planned configuration forgets it."""
+        service = StreamService(SCHEMA, memory=400, algorithm="gcsl")
+        for gb in ("AB", "AC", "BC", "CD"):
+            service.register("acme", query(gb))
+        half = len(dataset) // 2
+        push_slice(service, dataset, 0, half)
+        service.finish()
+
+        phantoms_before = set(service.live.configuration.phantoms)
+        service.retire("acme", "AB")
+        service.retire("acme", "AC")
+        service.retire("acme", "BC")
+        push_slice(service, dataset, half, len(dataset))
+        service.finish()
+
+        config = service.live.configuration
+        assert config.queries == frozenset({AttributeSet.parse("CD")})
+        # Any phantom built over the retired subtree is gone.
+        for phantom in phantoms_before:
+            if not AttributeSet.parse("CD").issubset(phantom):
+                assert phantom not in config.relations
+
+    def test_replan_cache_skips_planning_for_shared_joins(self, dataset):
+        """A tenant joining an existing group-by leaves the physical
+        problem unchanged — no plan, no reconfiguration."""
+        service = StreamService(SCHEMA, memory=800)
+        service.register("a", query("AB"))
+        service.register("b", query("BC"))
+        push_slice(service, dataset, 0, len(dataset) // 2)
+        replans_before = service.metrics.counter("service.replans").value
+        service.register("c", query("AB"))  # join, not a new table
+        assert service.metrics.counter("service.replans").value == \
+            replans_before
+        assert service.live._staged_plan is None
+
+
+class TestSLOReplan:
+    def test_measured_cost_breach_stages_a_replan(self, dataset):
+        service = StreamService(
+            SCHEMA, memory=800,
+            slo=ServiceSLO(max_cost_per_record=1e-6, cooldown_epochs=1,
+                           min_records=10))
+        service.register("acme", query("AB"))
+        service.register("acme", query("BC"))
+        push_slice(service, dataset, 0, len(dataset))
+        service.finish()
+        snapshot = service.metrics_snapshot().to_dict()
+        assert snapshot["counters"].get("service.slo_replans", 0) >= 1
+        events = [e for e in snapshot["events"]
+                  if e["name"] == "slo-replan"]
+        assert events and events[0]["limit"] == 1e-6
+
+    def test_no_slo_means_no_replans(self, dataset):
+        service = StreamService(SCHEMA, memory=800)
+        service.register("acme", query("AB"))
+        push_slice(service, dataset, 0, len(dataset))
+        service.finish()
+        counters = service.metrics_snapshot().to_dict()["counters"]
+        assert "service.slo_replans" not in counters
+
+
+class TestManifest:
+    def test_manifest_carries_service_section(self, dataset):
+        service = StreamService(SCHEMA, memory=800)
+        service.register("acme", query("AB"))
+        push_slice(service, dataset, 0, len(dataset))
+        service.finish()
+        doc = service.manifest().to_dict()
+        section = doc["extra"]["service"]
+        assert section["tenants"] == ["acme"]
+        assert section["group_bys"] == ["AB"]
+        assert section["leases"][0]["tenant"] == "acme"
+        assert doc["epochs"]

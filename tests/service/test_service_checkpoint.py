@@ -1,0 +1,113 @@
+"""Service durability: kill the process, restore, and nobody notices.
+
+The checkpoint must carry the *service* state — registry, leases,
+sketches, hints — alongside the live system, including a staged
+reconfiguration that has not yet landed (a tenant registered inside the
+open epoch, then the crash).
+"""
+
+import pytest
+
+from repro import QueryRegistry, StreamService
+from repro.errors import CheckpointError
+from repro.gigascope.online import LiveStreamSystem
+from repro.resilience.checkpoint import read_checkpoint_document
+
+from tests.service.conftest import SCHEMA, push_slice, query
+
+
+def fresh_service():
+    return StreamService(SCHEMA, memory=800)
+
+
+class TestRoundTrip:
+    def run(self, dataset, interrupt, tmp_path):
+        service = fresh_service()
+        service.register("acme", query("AB"))
+        service.register("beta", query("BC"))
+        half = len(dataset) // 2
+        push_slice(service, dataset, 0, half)
+        # Register inside the open epoch so a reconfiguration (plan AND
+        # query-set swap) is staged but not yet applied at the cut.
+        service.register("late", query("CD"))
+        if interrupt:
+            path = tmp_path / "svc.ckpt"
+            service.checkpoint(path)
+            del service  # the "crash"
+            service = StreamService.restore(path)
+        push_slice(service, dataset, half, len(dataset))
+        service.finish()
+        return service
+
+    def test_restore_mid_stream_matches_uninterrupted_run(
+            self, dataset, tmp_path):
+        oracle = self.run(dataset, False, tmp_path)
+        restored = self.run(dataset, True, tmp_path)
+
+        assert restored.registry.tenants == oracle.registry.tenants
+        assert restored.registry.version == oracle.registry.version
+        assert restored.leases() == oracle.leases()
+        for tenant in ("acme", "beta", "late"):
+            assert restored.answers(tenant) == oracle.answers(tenant)
+        assert restored.live.epoch_reports == oracle.live.epoch_reports
+        assert restored.live.reconfigurations == \
+            oracle.live.reconfigurations
+
+    def test_restored_service_keeps_admitting(self, dataset, tmp_path):
+        service = fresh_service()
+        service.register("acme", query("AB"))
+        push_slice(service, dataset, 0, len(dataset) // 2)
+        path = tmp_path / "svc.ckpt"
+        service.checkpoint(path)
+
+        restored = StreamService.restore(path)
+        restored.register("joiner", query("BC"))
+        push_slice(restored, dataset, len(dataset) // 2, len(dataset))
+        restored.finish()
+        assert restored.answers("joiner")["BC"]
+        # Sketches survived too: the collector still counts the records
+        # absorbed before the crash.
+        assert restored.collector.records_seen == len(dataset)
+
+
+class TestPayload:
+    def test_registry_state_rides_in_the_extra_payload(self, dataset,
+                                                       tmp_path):
+        service = fresh_service()
+        service.register("acme", query("AB"))
+        push_slice(service, dataset, 0, len(dataset) // 3)
+        path = tmp_path / "svc.ckpt"
+        service.checkpoint(path)
+
+        document = read_checkpoint_document(path)
+        payload = document["extra"]["service"]
+        registry = QueryRegistry.from_state(payload["registry"])
+        assert registry.tenants == ["acme"]
+        assert payload["config"]["memory"] == 800
+
+    def test_live_restore_still_works_on_service_checkpoints(
+            self, dataset, tmp_path):
+        """The payload is opaque to the live-system loader."""
+        service = fresh_service()
+        service.register("acme", query("AB"))
+        push_slice(service, dataset, 0, len(dataset) // 3)
+        path = tmp_path / "svc.ckpt"
+        service.checkpoint(path)
+        live = LiveStreamSystem.restore(path)
+        assert live.records_seen == service.live.records_seen
+
+    def test_restore_rejects_plain_live_checkpoints(self, dataset,
+                                                    tmp_path):
+        service = fresh_service()
+        service.register("acme", query("AB"))
+        push_slice(service, dataset, 0, len(dataset) // 3)
+        path = tmp_path / "plain.ckpt"
+        service.live.checkpoint(path)  # no service payload
+        with pytest.raises(CheckpointError, match="without service"):
+            StreamService.restore(path)
+
+    def test_checkpoint_before_any_data_is_an_error(self, tmp_path):
+        service = fresh_service()
+        service.register("acme", query("AB"))
+        with pytest.raises(CheckpointError, match="not ingested"):
+            service.checkpoint(tmp_path / "nope.ckpt")
