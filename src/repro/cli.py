@@ -77,9 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--partition-column", default=None,
                         help="attribute for --partition range")
     parser.add_argument("--shard-executor", default="process",
-                        choices=["process", "serial"],
-                        help="worker processes per shard, or inline serial "
-                             "execution (deterministic, for debugging)")
+                        choices=["process", "serial", "pipeline"],
+                        help="worker processes per shard, inline serial "
+                             "execution (deterministic, for debugging), or "
+                             "the pipelined shared-memory executor "
+                             "(ring-buffered epoch chunks, overlapped "
+                             "merge)")
     parser.add_argument("--max-retries", type=int, default=2,
                         help="retries per failing shard before the serial "
                              "fallback kicks in (default 2)")
@@ -282,7 +285,10 @@ def main(argv: list[str] | None = None) -> int:
                 shard_results=getattr(system, "shard_results", None),
                 shard_registries=getattr(system, "shard_registries", None),
                 epoch_reports=(live.epoch_reports if live else None),
-                reconfigurations=(live.reconfigurations if live else None))
+                reconfigurations=(live.reconfigurations if live else None),
+                extra=({"partition": system.partition_summary}
+                       if getattr(system, "partition_summary", None)
+                       is not None else None))
             out_path = manifest.write(args.metrics_json)
             print(f"metrics manifest  : {out_path}")
     return 0

@@ -10,30 +10,45 @@ HFTA-level merge combines into the same per-epoch answers the single-core
   record-to-shard assignment;
 * :mod:`~repro.parallel.sharded` — :class:`ShardedStreamSystem`, the
   multi-core mirror of :class:`StreamSystem`;
+* :mod:`~repro.parallel.pipeline` — the pipelined shared-memory executor
+  (ring-buffered epoch chunks, backpressure, overlapped merge);
 * :mod:`~repro.parallel.merge` — exact merging of per-shard HFTAs and
-  cost counters.
+  cost counters, batch-level or incrementally per epoch.
 
 See ``docs/sharding.md`` for semantics and the memory-split policy.
 """
 
-from repro.parallel.merge import merge_counters, merge_hftas, merge_results
+from repro.parallel.merge import (
+    EpochMerger,
+    merge_counters,
+    merge_hftas,
+    merge_results,
+)
 from repro.parallel.partition import (
     HashPartitioner,
     KeyRangePartitioner,
     RoundRobinPartitioner,
+    derive_range_bounds,
     make_partitioner,
+    shard_balance,
     split_dataset,
 )
+from repro.parallel.pipeline import PipelineCoordinator, PipelineWorkerError
 from repro.parallel.sharded import ShardedStreamSystem
 
 __all__ = [
+    "EpochMerger",
     "HashPartitioner",
     "KeyRangePartitioner",
+    "PipelineCoordinator",
+    "PipelineWorkerError",
     "RoundRobinPartitioner",
     "ShardedStreamSystem",
+    "derive_range_bounds",
     "make_partitioner",
     "merge_counters",
     "merge_hftas",
     "merge_results",
+    "shard_balance",
     "split_dataset",
 ]

@@ -39,6 +39,8 @@ __all__ = [
     "KeyRangePartitioner",
     "make_partitioner",
     "split_dataset",
+    "derive_range_bounds",
+    "shard_balance",
 ]
 
 #: Salt decorrelating shard placement from LFTA bucket placement; a record's
@@ -92,9 +94,11 @@ class KeyRangePartitioner:
 
     With explicit ``boundaries`` ``(b_1, ..., b_{k-1})``, shard ``i`` takes
     values in ``[b_i, b_{i+1})`` (half-open, ``b_0 = -inf``); the boundary
-    count must then be ``n_shards - 1``. Without boundaries, quantiles of
-    the dataset's own column are used, which balances the shards for the
-    observed value distribution.
+    count must then be ``n_shards - 1``. Without boundaries, cuts are
+    derived from the cumulative histogram of the column's observed values
+    (see :func:`derive_range_bounds`), which balances the shards for the
+    observed distribution and keeps every shard non-empty whenever the
+    column has at least ``n_shards`` distinct values.
     """
 
     column: str
@@ -119,9 +123,66 @@ class KeyRangePartitioner:
         else:
             if len(dataset) == 0:
                 return np.zeros(0, dtype=np.int64)
-            quantiles = np.arange(1, n_shards) / n_shards
-            bounds = np.quantile(values, quantiles)
+            bounds = derive_range_bounds(values, n_shards)
+            if bounds.size == 0:
+                return np.zeros(len(dataset), dtype=np.int64)
         return np.searchsorted(bounds, values, side="right").astype(np.int64)
+
+
+def derive_range_bounds(values: np.ndarray, n_shards: int) -> np.ndarray:
+    """Derive strictly increasing range boundaries from the data itself.
+
+    Plain ``np.quantile`` breaks down on skewed or low-cardinality
+    columns: interpolated quantiles repeat (collapsing shards to empty)
+    or fall strictly between data values (leaving interior shards with
+    no records at all). Instead, walk the cumulative histogram of the
+    *unique* values and cut at actual data values nearest each ideal
+    ``total * i / k`` split. Every boundary is a distinct observed value
+    with at least one value below it, so all ``min(n_shards, |uniq|)``
+    shards are guaranteed non-empty; only when cardinality is smaller
+    than the shard count do trailing shards stay empty.
+    """
+    n_shards = _check_shards(n_shards)
+    uniq, counts = np.unique(np.asarray(values), return_counts=True)
+    k = min(n_shards, uniq.size)
+    if k <= 1:
+        return np.empty(0, dtype=np.float64)
+    cum = np.cumsum(counts)
+    total = int(cum[-1])
+    bounds = np.empty(k - 1, dtype=np.float64)
+    prev = 0
+    for i in range(1, k):
+        target = total * (i / k)
+        cut = int(np.searchsorted(cum, target, side="left")) + 1
+        cut = max(cut, prev + 1)
+        cut = min(cut, uniq.size - 1 - (k - 1 - i))
+        bounds[i - 1] = uniq[cut]
+        prev = cut
+    return bounds
+
+
+def shard_balance(shard_ids: np.ndarray, n_shards: int,
+                  strategy: str = "") -> dict:
+    """Summarize how a record-to-shard assignment actually landed.
+
+    The dict is JSON-ready and rides in the run manifest so skewed or
+    collapsed partitions are visible post-hoc instead of silently
+    degrading parallelism.
+    """
+    n_shards = _check_shards(n_shards)
+    ids = np.asarray(shard_ids)
+    counts = (np.bincount(ids, minlength=n_shards) if ids.size
+              else np.zeros(n_shards, dtype=np.int64))
+    largest = int(counts.max()) if n_shards else 0
+    mean = ids.size / n_shards if n_shards else 0.0
+    return {
+        "strategy": strategy,
+        "shards": n_shards,
+        "records": [int(c) for c in counts],
+        "empty_shards": int(np.count_nonzero(counts == 0)),
+        "largest_shard": largest,
+        "imbalance": float(largest / mean) if mean else 1.0,
+    }
 
 
 _REGISTRY = {

@@ -4,8 +4,10 @@
 StreamSystem` API but splits the stream into ``shards`` sub-streams with a
 pluggable :mod:`partitioner <repro.parallel.partition>`, runs the exact
 vectorized engine on every shard — in worker processes via
-:class:`concurrent.futures.ProcessPoolExecutor`, or inline with the
-deterministic serial executor — and merges the per-shard HFTAs and cost
+:class:`concurrent.futures.ProcessPoolExecutor`, inline with the
+deterministic serial executor, or through the pipelined shared-memory
+executor of :mod:`repro.parallel.pipeline` — and merges the per-shard
+HFTAs and cost
 counters into one :class:`~repro.gigascope.metrics.SimulationResult`.
 ``RunReport``, ``summary()`` and every cost/answer accessor therefore work
 unchanged on the merged report.
@@ -46,6 +48,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from typing import NamedTuple
 
 import numpy as np
@@ -62,14 +65,19 @@ from repro.gigascope.records import Dataset
 from repro.gigascope.runtime import RunReport, StreamSystem
 from repro.observability import MetricsRegistry
 from repro.parallel.merge import merge_results
-from repro.parallel.partition import HashPartitioner, split_dataset
+from repro.parallel.partition import (HashPartitioner, shard_balance,
+                                      split_dataset)
 from repro.resilience.faults import CorruptResultError, FaultPlan, InjectedFault
 from repro.resilience.report import ResilienceReport
 from repro.resilience.retry import RetryPolicy
 
 __all__ = ["ShardedStreamSystem"]
 
-_EXECUTORS = ("process", "serial")
+_EXECUTORS = ("process", "serial", "pipeline")
+
+# Distinct from the builtin on 3.10 (an alias from 3.11 on); a pool wait
+# can raise either, so timeouts are always caught as this pair.
+_TIMEOUTS = (TimeoutError, _FuturesTimeout)
 
 
 class _ShardJob(NamedTuple):
@@ -120,29 +128,42 @@ def _run_shard(job: _ShardJob, attempt: int = 1,
     return job.index, result, registry
 
 
-def _validate_outcome(job: _ShardJob, outcome) -> _ShardOutcome:
+def _validate_outcome(outcome, *, index: int, records: int) -> _ShardOutcome:
     """Reject malformed worker results so they retry like crashes."""
     if not isinstance(outcome, tuple) or len(outcome) != 3:
         raise CorruptResultError(
-            f"shard {job.index} returned a malformed outcome "
+            f"shard {index} returned a malformed outcome "
             f"({type(outcome).__name__})")
-    index, result, registry = outcome
-    if index != job.index:
+    got_index, result, registry = outcome
+    if got_index != index:
         raise CorruptResultError(
-            f"shard {job.index} returned an outcome labelled {index}")
+            f"shard {index} returned an outcome labelled {got_index}")
     if not isinstance(result, SimulationResult):
         raise CorruptResultError(
-            f"shard {job.index} returned {type(result).__name__} "
+            f"shard {index} returned {type(result).__name__} "
             "instead of a SimulationResult")
     if not isinstance(registry, MetricsRegistry):
         raise CorruptResultError(
-            f"shard {job.index} returned an invalid sub-registry "
+            f"shard {index} returned an invalid sub-registry "
             f"({type(registry).__name__})")
-    if result.n_records != len(job.dataset):
+    if result.n_records != records:
         raise CorruptResultError(
-            f"shard {job.index} reported {result.n_records} records "
-            f"for a {len(job.dataset)}-record shard")
+            f"shard {index} reported {result.n_records} records "
+            f"for a {records}-record shard")
     return outcome
+
+
+class _Flight:
+    """One shard's in-flight attempt on the process pool: the live future
+    plus the submission timestamp its timeout is measured from."""
+
+    __slots__ = ("job", "future", "attempt", "submitted")
+
+    def __init__(self, job: _ShardJob):
+        self.job = job
+        self.future = None
+        self.attempt = 0
+        self.submitted = 0.0
 
 
 def _count_epochs(dataset: Dataset, epoch_seconds: float) -> int:
@@ -171,9 +192,17 @@ class ShardedStreamSystem:
         :class:`~repro.parallel.partition.HashPartitioner` on the full
         grouping key). Any partition yields exact answers.
     executor:
-        ``"process"`` (one worker process per shard, true multi-core) or
+        ``"process"`` (one worker process per shard, true multi-core),
         ``"serial"`` (shards run inline, in shard order — deterministic
-        and debugger-friendly; used by the test suite).
+        and debugger-friendly; used by the test suite), or ``"pipeline"``
+        (long-lived per-shard workers fed epoch chunks through
+        shared-memory ring buffers, with the HFTA merge overlapped with
+        ingest — see :mod:`repro.parallel.pipeline`).
+    pipeline_chunk_records / pipeline_ring_slots:
+        Pipeline-executor tuning: records per columnar chunk and ring
+        slots per shard. The ring bounds each worker's backlog to
+        ``slots * chunk_records`` records, which is the backpressure
+        window.
     max_workers:
         Process-pool size cap; defaults to ``min(shards, cpu count)``.
         Whatever the value, the pool never opens more workers than there
@@ -206,7 +235,9 @@ class ShardedStreamSystem:
                  max_workers: int | None = None,
                  registry: MetricsRegistry | None = None,
                  retry: RetryPolicy | None = None,
-                 fault_plan: FaultPlan | None = None):
+                 fault_plan: FaultPlan | None = None,
+                 pipeline_chunk_records: int = 32768,
+                 pipeline_ring_slots: int = 4):
         if int(shards) < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
         if executor not in _EXECUTORS:
@@ -237,8 +268,18 @@ class ShardedStreamSystem:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.retry_policy = retry if retry is not None else RetryPolicy()
         self.fault_plan = fault_plan
+        if int(pipeline_chunk_records) < 1 or int(pipeline_ring_slots) < 1:
+            raise ConfigurationError(
+                "pipeline_chunk_records and pipeline_ring_slots must be "
+                f">= 1, got {pipeline_chunk_records}/{pipeline_ring_slots}")
+        self.pipeline_chunk_records = int(pipeline_chunk_records)
+        self.pipeline_ring_slots = int(pipeline_ring_slots)
         self.shard_buckets = {rel: b // self.shards
                               for rel, b in self._single.buckets.items()}
+        #: How the last run's records actually landed across shards
+        #: (strategy, per-shard counts, empty shards, imbalance); set by
+        #: :meth:`run` for ``shards > 1`` and surfaced in the manifest.
+        self.partition_summary: dict | None = None
         #: The last run's :class:`~repro.resilience.ResilienceReport`
         #: (attempts, faults, fallbacks, overhead); None before
         #: :meth:`run` and on the shards=1 fast path.
@@ -329,21 +370,21 @@ class ShardedStreamSystem:
         epoch_seconds = self.queries.epoch_seconds
         with registry.span("partition"):
             shard_ids = self.partitioner.shard_ids(dataset, self.shards)
-            jobs: list[_ShardJob] = [
-                _ShardJob(index, shard, self._single.configuration,
-                          self.shard_buckets, epoch_seconds,
-                          self.value_column, self._single.salt_seed)
-                for index, shard in enumerate(
-                    split_dataset(dataset, shard_ids, self.shards))
-                if len(shard)
-            ]
-            if not jobs:  # empty stream: run one shard for the empty result
-                jobs = [_ShardJob(0, dataset, self._single.configuration,
-                                  self.shard_buckets, epoch_seconds,
-                                  self.value_column,
-                                  self._single.salt_seed)]
+            summary = shard_balance(
+                shard_ids, self.shards,
+                strategy=type(self.partitioner).__name__)
+            self.partition_summary = summary
+            registry.gauge("partition.empty_shards").set(
+                summary["empty_shards"])
+            registry.gauge("partition.imbalance").set(summary["imbalance"])
+            jobs = (None if self.executor == "pipeline"
+                    else self._materialize_jobs(dataset, shard_ids))
         with registry.span("engine"):
-            outcomes, resilience = self._execute_jobs(jobs)
+            if self.executor == "pipeline":
+                outcomes, resilience = self._execute_pipeline(
+                    dataset, shard_ids, summary)
+            else:
+                outcomes, resilience = self._execute_jobs(jobs)
         resilience.record(registry)
         self.resilience_report = resilience
         results = [result for _, result, _ in outcomes]
@@ -360,9 +401,61 @@ class ShardedStreamSystem:
         return RunReport(merged, self.params, self.queries,
                          resilience=resilience)
 
+    def _materialize_jobs(self, dataset: Dataset,
+                          shard_ids: np.ndarray) -> list[_ShardJob]:
+        """Split the stream into per-shard work orders (empty shards are
+        skipped; an empty stream yields one job for the empty result)."""
+        epoch_seconds = self.queries.epoch_seconds
+        jobs: list[_ShardJob] = [
+            _ShardJob(index, shard, self._single.configuration,
+                      self.shard_buckets, epoch_seconds,
+                      self.value_column, self._single.salt_seed)
+            for index, shard in enumerate(
+                split_dataset(dataset, shard_ids, self.shards))
+            if len(shard)
+        ]
+        if not jobs:
+            jobs = [_ShardJob(0, dataset, self._single.configuration,
+                              self.shard_buckets, epoch_seconds,
+                              self.value_column, self._single.salt_seed)]
+        return jobs
+
+    def _new_resilience(self) -> ResilienceReport:
+        resilience = ResilienceReport(
+            policy=self.retry_policy.to_dict(),
+            fault_plan=(self.fault_plan.to_dict()
+                        if self.fault_plan is not None else None))
+        # Published before execution so a raising run still leaves its
+        # partial attempt history inspectable post-mortem.
+        self.resilience_report = resilience
+        return resilience
+
     # ------------------------------------------------------------------
     # Fault-tolerant job execution
     # ------------------------------------------------------------------
+    def _execute_pipeline(self, dataset: Dataset, shard_ids: np.ndarray,
+                          summary: dict
+                          ) -> tuple[list[_ShardOutcome], ResilienceReport]:
+        """Run the pipelined shared-memory executor (see
+        :mod:`repro.parallel.pipeline`).
+
+        Degenerate shapes — fewer than two non-empty shards, or an empty
+        stream — fall back to the in-process serial loop, which is both
+        exact and cheaper than spinning up workers for no parallelism.
+        """
+        from repro.parallel.pipeline import PipelineCoordinator
+
+        resilience = self._new_resilience()
+        rng = self.retry_policy.rng()
+        live = [s for s, n in enumerate(summary["records"]) if n > 0]
+        if len(live) <= 1:
+            outcomes = [self._run_job_serial(job, resilience, rng)
+                        for job in self._materialize_jobs(dataset, shard_ids)]
+            return outcomes, resilience
+        coordinator = PipelineCoordinator(self, dataset, shard_ids, live,
+                                          resilience, rng)
+        return coordinator.run(), resilience
+
     def _execute_jobs(self, jobs: list[_ShardJob]
                       ) -> tuple[list[_ShardOutcome], ResilienceReport]:
         """Run every job to a validated outcome, retrying per policy.
@@ -372,13 +465,7 @@ class ShardedStreamSystem:
         policy's attempts — and, on the process executor, the serial
         fallback — are exhausted.
         """
-        resilience = ResilienceReport(
-            policy=self.retry_policy.to_dict(),
-            fault_plan=(self.fault_plan.to_dict()
-                        if self.fault_plan is not None else None))
-        # Published before execution so a raising run still leaves its
-        # partial attempt history inspectable post-mortem.
-        self.resilience_report = resilience
+        resilience = self._new_resilience()
         rng = self.retry_policy.rng()
         if self.executor == "serial" or len(jobs) == 1:
             outcomes = [self._run_job_serial(job, resilience, rng)
@@ -387,13 +474,13 @@ class ShardedStreamSystem:
             outcomes = self._run_jobs_process(jobs, resilience, rng)
         return outcomes, resilience
 
-    def _note_attempt(self, resilience: ResilienceReport, job: _ShardJob,
-                      attempt: int, rng) -> None:
+    def _note_attempt(self, resilience: ResilienceReport, index: int,
+                      records: int, attempt: int, rng) -> None:
         """Book-keep one attempt: count it, log its planned fault, and
         sleep the backoff (attempt 1 never waits)."""
-        row = resilience.outcome(job.index, len(job.dataset))
+        row = resilience.outcome(index, records)
         row.attempts = attempt
-        fault = (self.fault_plan.fault_for(job.index, attempt)
+        fault = (self.fault_plan.fault_for(index, attempt)
                  if self.fault_plan is not None else None)
         if fault is not None:
             row.faults.append(fault.kind)
@@ -402,24 +489,26 @@ class ShardedStreamSystem:
             resilience.backoff_seconds += wait
             self.retry_policy.sleep(wait)
 
-    def _note_failure(self, resilience: ResilienceReport, job: _ShardJob,
-                      exc: Exception, started: float) -> None:
-        row = resilience.outcome(job.index, len(job.dataset))
+    def _note_failure(self, resilience: ResilienceReport, index: int,
+                      records: int, exc: Exception, started: float) -> None:
+        """Record a failed attempt; ``started`` is the attempt's
+        *submission* time, so failure seconds cover its full lifetime."""
+        row = resilience.outcome(index, records)
         row.errors.append(f"{type(exc).__name__}: {exc}")
         resilience.failed_attempt_seconds += time.perf_counter() - started
 
-    def _exhausted(self, job: _ShardJob, resilience: ResilienceReport,
+    def _exhausted(self, index: int, records: int,
+                   resilience: ResilienceReport,
                    last_exc: Exception) -> ShardExecutionError:
-        row = resilience.outcome(job.index, len(job.dataset))
+        row = resilience.outcome(index, records)
         detail = row.errors[-1] if row.errors else str(last_exc)
         return ShardExecutionError(
-            f"shard {job.index} ({len(job.dataset)} records, "
+            f"shard {index} ({records} records, "
             f"{len(self.shard_buckets)} relations) failed after "
             f"{row.attempts} attempts"
             + (" including a serial fallback" if row.fallback else "")
             + f"; last error: {detail}",
-            shard=job.index, attempts=row.attempts,
-            records=len(job.dataset))
+            shard=index, attempts=row.attempts, records=records)
 
     def _check_serial_timeout(self, started: float) -> None:
         """Post-hoc timeout for in-process attempts (which cannot be
@@ -437,18 +526,22 @@ class ShardedStreamSystem:
         row = resilience.outcome(job.index, len(job.dataset))
         last_exc: Exception | None = None
         for attempt in range(1, self.retry_policy.max_attempts + 1):
-            self._note_attempt(resilience, job, attempt, rng)
+            self._note_attempt(resilience, job.index, len(job.dataset),
+                               attempt, rng)
             started = time.perf_counter()
             try:
                 outcome = _validate_outcome(
-                    job, _run_shard(job, attempt, self.fault_plan))
+                    _run_shard(job, attempt, self.fault_plan),
+                    index=job.index, records=len(job.dataset))
                 self._check_serial_timeout(started)
                 row.succeeded = True
                 return outcome
             except Exception as exc:
-                self._note_failure(resilience, job, exc, started)
+                self._note_failure(resilience, job.index, len(job.dataset),
+                                   exc, started)
                 last_exc = exc
-        raise self._exhausted(job, resilience, last_exc) from last_exc
+        raise self._exhausted(job.index, len(job.dataset), resilience,
+                              last_exc) from last_exc
 
     def _run_jobs_process(self, jobs: list[_ShardJob],
                           resilience: ResilienceReport,
@@ -456,55 +549,106 @@ class ShardedStreamSystem:
         """Submit-based process-pool execution with per-shard retries.
 
         All first attempts are submitted up front (full parallelism);
-        failures are retried as they surface. A broken pool (worker
-        killed hard) is torn down and rebuilt, so one dying worker does
-        not doom the surviving shards' retries.
+        failures are retried as they surface. Each attempt's timeout is
+        measured from its *submission* timestamp, so shards awaited later
+        do not get unbounded timeouts. A broken pool (worker killed hard)
+        or a timed-out attempt that is already running is torn down and
+        rebuilt, so neither a dying worker nor a zombie attempt can doom
+        or delay the surviving shards.
         """
         workers = self._effective_workers(len(jobs))
         pool = [ProcessPoolExecutor(max_workers=workers)]
+        flights = {job.index: _Flight(job) for job in jobs}
 
-        def submit(job: _ShardJob, attempt: int):
-            return pool[0].submit(_run_shard, job, attempt, self.fault_plan)
+        def submit(job: _ShardJob, attempt: int) -> None:
+            flight = flights[job.index]
+            flight.attempt = attempt
+            flight.submitted = time.perf_counter()
+            flight.future = pool[0].submit(_run_shard, job, attempt,
+                                           self.fault_plan)
 
         try:
-            pending = {}
             for job in jobs:
-                self._note_attempt(resilience, job, 1, rng)
-                pending[job.index] = submit(job, 1)
-            outcomes = []
-            for job in jobs:
-                outcomes.append(self._await_job(
-                    job, pending[job.index], submit, pool, workers,
-                    resilience, rng))
-            return outcomes
+                self._note_attempt(resilience, job.index, len(job.dataset),
+                                   1, rng)
+                submit(job, 1)
+            return [self._await_job(job, flights, pool, workers, submit,
+                                    resilience, rng)
+                    for job in jobs]
         finally:
             pool[0].shutdown(wait=False, cancel_futures=True)
 
-    def _await_job(self, job: _ShardJob, future, submit, pool,
-                   workers: int, resilience: ResilienceReport,
+    def _await_job(self, job: _ShardJob, flights, pool, workers: int,
+                   submit, resilience: ResilienceReport,
                    rng) -> _ShardOutcome:
         row = resilience.outcome(job.index, len(job.dataset))
-        attempt = row.attempts
+        flight = flights[job.index]
+        timeout = self.retry_policy.timeout_seconds
         while True:
-            started = time.perf_counter()
             try:
-                outcome = _validate_outcome(
-                    job,
-                    future.result(timeout=self.retry_policy.timeout_seconds))
+                if timeout is None:
+                    raw = flight.future.result()
+                else:
+                    remaining = timeout - (time.perf_counter()
+                                           - flight.submitted)
+                    raw = flight.future.result(timeout=max(0.0, remaining))
+                outcome = _validate_outcome(raw, index=job.index,
+                                            records=len(job.dataset))
                 row.succeeded = True
                 return outcome
             except Exception as exc:
-                self._note_failure(resilience, job, exc, started)
+                if isinstance(exc, _TIMEOUTS):
+                    exc = TimeoutError(
+                        f"attempt exceeded the {timeout:.3f}s per-attempt "
+                        "timeout (measured from submission)")
+                    self._cancel_attempt(flight, flights, pool, workers,
+                                         submit, resilience)
+                self._note_failure(resilience, job.index, len(job.dataset),
+                                   exc, flight.submitted)
                 if isinstance(exc, BrokenExecutor):
-                    # The pool is dead for everyone; replace it so this
-                    # and later retries have somewhere to run.
-                    pool[0].shutdown(wait=False, cancel_futures=True)
-                    pool[0] = ProcessPoolExecutor(max_workers=workers)
-                attempt += 1
+                    self._rebuild_pool(flights, pool, workers, submit,
+                                       exclude=job.index)
+                attempt = flight.attempt + 1
                 if attempt > self.retry_policy.max_attempts:
                     return self._fallback_or_raise(job, resilience, rng, exc)
-                self._note_attempt(resilience, job, attempt, rng)
-                future = submit(job, attempt)
+                self._note_attempt(resilience, job.index, len(job.dataset),
+                                   attempt, rng)
+                submit(job, attempt)
+
+    def _cancel_attempt(self, flight: _Flight, flights, pool, workers: int,
+                        submit, resilience: ResilienceReport) -> None:
+        """Stop a timed-out attempt before its retry is submitted.
+
+        A pending future cancels cleanly. A *running* one cannot be
+        cancelled through the executor API — the zombie would keep
+        occupying a pool worker while its retry runs, serializing behind
+        it — so the pool is torn down (terminating the worker) and
+        rebuilt, and every other shard's unfinished attempt is resubmitted
+        on the fresh pool at its same attempt number with a fresh clock.
+        """
+        resilience.cancelled_attempts += 1
+        if flight.future.cancel():
+            return
+        self._rebuild_pool(flights, pool, workers, submit,
+                           exclude=flight.job.index)
+
+    def _rebuild_pool(self, flights, pool, workers: int, submit,
+                      exclude: int) -> None:
+        """Replace the pool; resubmit innocents' unfinished attempts."""
+        victims = [flight for flight in flights.values()
+                   if flight.job.index != exclude
+                   and flight.future is not None
+                   and not flight.future.done()]
+        old = pool[0]
+        old.shutdown(wait=False, cancel_futures=True)
+        for proc in list((getattr(old, "_processes", None) or {}).values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        pool[0] = ProcessPoolExecutor(max_workers=workers)
+        for flight in victims:
+            submit(flight.job, flight.attempt)
 
     def _fallback_or_raise(self, job: _ShardJob,
                            resilience: ResilienceReport, rng,
@@ -514,15 +658,19 @@ class ShardedStreamSystem:
         if self.retry_policy.serial_fallback:
             row.fallback = True
             attempt = row.attempts + 1
-            self._note_attempt(resilience, job, attempt, rng)
+            self._note_attempt(resilience, job.index, len(job.dataset),
+                               attempt, rng)
             started = time.perf_counter()
             try:
                 outcome = _validate_outcome(
-                    job, _run_shard(job, attempt, self.fault_plan))
+                    _run_shard(job, attempt, self.fault_plan),
+                    index=job.index, records=len(job.dataset))
                 self._check_serial_timeout(started)
                 row.succeeded = True
                 return outcome
             except Exception as exc:
-                self._note_failure(resilience, job, exc, started)
+                self._note_failure(resilience, job.index, len(job.dataset),
+                                   exc, started)
                 last_exc = exc
-        raise self._exhausted(job, resilience, last_exc) from last_exc
+        raise self._exhausted(job.index, len(job.dataset), resilience,
+                              last_exc) from last_exc

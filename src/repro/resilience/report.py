@@ -56,6 +56,9 @@ class ResilienceReport:
     shards: list[ShardOutcome] = field(default_factory=list)
     backoff_seconds: float = 0.0
     failed_attempt_seconds: float = 0.0
+    #: Timed-out attempts that were cancelled (or whose worker was torn
+    #: down) instead of being left to run concurrently with their retry.
+    cancelled_attempts: int = 0
 
     def outcome(self, shard: int, records: int) -> ShardOutcome:
         """Get-or-create the outcome row for one shard."""
@@ -99,6 +102,7 @@ class ResilienceReport:
         registry.counter("resilience.attempts").inc(self.total_attempts)
         registry.counter("resilience.retries").inc(self.total_retries)
         registry.counter("resilience.fallbacks").inc(self.total_fallbacks)
+        registry.counter("resilience.cancelled").inc(self.cancelled_attempts)
         for kind, count in sorted(self.fault_counts.items()):
             registry.counter(f"resilience.faults.{kind}").inc(count)
         registry.histogram("resilience.backoff_seconds").observe(
@@ -117,5 +121,6 @@ class ResilienceReport:
             "fault_counts": self.fault_counts,
             "backoff_seconds": self.backoff_seconds,
             "failed_attempt_seconds": self.failed_attempt_seconds,
+            "cancelled_attempts": self.cancelled_attempts,
             "overhead_seconds": self.overhead_seconds,
         }

@@ -2,19 +2,31 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, strategies as st
 
 from repro import AttributeSet, StreamSchema
 from repro.errors import ConfigurationError, SchemaError
+from repro.gigascope.records import Dataset
 from repro.parallel import (
     HashPartitioner,
     KeyRangePartitioner,
     RoundRobinPartitioner,
     make_partitioner,
+    shard_balance,
     split_dataset,
 )
 from repro.workloads import make_group_universe, uniform_dataset
 
 SCHEMA = StreamSchema(("A", "B", "C", "D"))
+
+_KEY_SCHEMA = StreamSchema(("A",))
+
+
+def _key_dataset(values) -> Dataset:
+    """A minimal one-attribute dataset carrying an arbitrary key column."""
+    column = np.asarray(values, dtype=np.int64)
+    timestamps = np.linspace(0.0, 1.0, len(column))
+    return Dataset(_KEY_SCHEMA, {"A": column}, timestamps, {})
 
 
 @pytest.fixture(scope="module")
@@ -73,6 +85,47 @@ class TestKeyRangePartitioner:
         ids = KeyRangePartitioner("A").shard_ids(dataset, 2)
         sizes = np.bincount(ids, minlength=2)
         assert sizes.min() > 0
+
+    def test_skewed_column_still_covers_both_shards(self):
+        """Regression: interpolated quantiles on a heavily skewed column
+        used to produce a boundary no record crosses, silently collapsing
+        one shard to empty."""
+        data = _key_dataset([5] * 99 + [7])
+        ids = KeyRangePartitioner("A").shard_ids(data, 2)
+        sizes = np.bincount(ids, minlength=2)
+        assert sizes.min() > 0
+
+    def test_low_cardinality_caps_live_shards_at_cardinality(self):
+        """Two distinct values cannot cover four shards; the first two
+        shards take one value each and the rest are knowingly empty."""
+        data = _key_dataset([0] * 50 + [1] * 50)
+        ids = KeyRangePartitioner("A").shard_ids(data, 4)
+        sizes = np.bincount(ids, minlength=4)
+        assert list(sizes) == [50, 50, 0, 0]
+        summary = shard_balance(ids, 4, strategy="KeyRangePartitioner")
+        assert summary["empty_shards"] == 2
+        assert summary["records"] == [50, 50, 0, 0]
+
+    def test_constant_column_lands_on_one_shard(self):
+        data = _key_dataset([9] * 30)
+        ids = KeyRangePartitioner("A").shard_ids(data, 3)
+        assert np.all(ids == 0)
+
+    @given(values=st.lists(st.integers(min_value=-50, max_value=50),
+                           min_size=1, max_size=300),
+           n_shards=st.integers(min_value=2, max_value=8))
+    def test_derived_split_covers_all_reachable_shards(self, values,
+                                                       n_shards):
+        """Whatever the skew, a derived key-range split fills shards
+        ``0..min(n_shards, cardinality)-1`` and only those, and shard ids
+        are monotone in the key (ranges stay contiguous)."""
+        data = _key_dataset(sorted(values))
+        ids = KeyRangePartitioner("A").shard_ids(data, n_shards)
+        reachable = min(n_shards, np.unique(data.columns["A"]).size)
+        sizes = np.bincount(ids, minlength=n_shards)
+        assert np.all(sizes[:reachable] > 0)
+        assert np.all(sizes[reachable:] == 0)
+        assert np.all(np.diff(ids) >= 0)  # sorted keys → sorted shards
 
     def test_boundary_count_mismatch(self, dataset):
         with pytest.raises(ConfigurationError):

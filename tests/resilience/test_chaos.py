@@ -1,4 +1,4 @@
-"""The chaos matrix: every planned failure mode, on both executors.
+"""The chaos matrix: every planned failure mode, on every executor.
 
 Every scenario must end in one of exactly two states: answers identical
 to the fault-free single-core oracle, or a
@@ -7,6 +7,7 @@ to the fault-free single-core oracle, or a
 """
 
 import os
+import time
 
 import pytest
 
@@ -16,7 +17,7 @@ from repro.resilience import FaultPlan, FaultSpec
 
 from tests.resilience.conftest import fast_retry
 
-EXECUTORS = ("serial", "process")
+EXECUTORS = ("serial", "process", "pipeline")
 
 
 def sharded(dataset, queries, config, buckets, **kwargs):
@@ -158,6 +159,55 @@ class TestDelayPastTimeout:
         report = system.run()
         assert_matches_oracle(report, single_report, queries)
         assert system.resilience_report.total_retries == 0
+
+
+class TestTimeoutCancellation:
+    """A timed-out attempt must be cancelled (or its worker torn down),
+    never left running as a zombie that occupies a pool slot while its
+    own retry serializes behind it."""
+
+    def test_zombie_attempt_is_cancelled_and_pool_rebuilt(
+            self, dataset, queries, config, buckets, single_report):
+        plan = FaultPlan((FaultSpec("delay", shard=0, attempt=1,
+                                    delay_seconds=4.0),))
+        system = sharded(dataset, queries, config, buckets,
+                         executor="process", max_workers=1,
+                         fault_plan=plan,
+                         retry=fast_retry(timeout_seconds=0.3))
+        started = time.perf_counter()
+        report = system.run()
+        elapsed = time.perf_counter() - started
+        assert_matches_oracle(report, single_report, queries)
+        resilience = system.resilience_report
+        assert resilience.cancelled_attempts >= 1
+        row = next(o for o in resilience.shards if o.shard == 0)
+        # The retry genuinely ran on the pool: with the zombie still
+        # holding the only worker, it could only succeed via fallback.
+        assert row.succeeded and not row.fallback
+        assert elapsed < 3.0  # the 4 s sleeper no longer blocks the run
+
+    def test_timeout_measured_from_submission_not_await(
+            self, dataset, queries, config, buckets, single_report):
+        """Two delayed shards share one worker under a 1 s budget: the
+        later shard's queue wait must count against its timeout (an
+        await-based clock would never expire), and the failed attempt is
+        billed for its full submitted-to-failure lifetime."""
+        plan = FaultPlan((FaultSpec("delay", shard=0, attempt=1,
+                                    delay_seconds=0.6),
+                          FaultSpec("delay", shard=1, attempt=1,
+                                    delay_seconds=0.6)))
+        system = sharded(dataset, queries, config, buckets,
+                         executor="process", max_workers=1,
+                         fault_plan=plan,
+                         retry=fast_retry(timeout_seconds=1.0))
+        report = system.run()
+        assert_matches_oracle(report, single_report, queries)
+        resilience = system.resilience_report
+        timed_out = [o for o in resilience.shards
+                     if any("Timeout" in e for e in o.errors)]
+        assert timed_out
+        assert resilience.failed_attempt_seconds >= 0.9
+        assert resilience.cancelled_attempts >= 1
 
 
 class TestCorruptedResults:
