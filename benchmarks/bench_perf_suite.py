@@ -18,6 +18,14 @@ Measured cases:
   oracle on the paper workload.
 * ``engine_sweep_*`` — a 4-point bucket-count sweep of the vectorized
   engine over a synthetic stream, with and without a ``HashCache``.
+* ``strategy`` (its own top-level section) — the hash/sort/shared
+  crossover curve: three (g, b, epochs) regimes, each timed two ways
+  under all three strategies — the engine pass alone (the LFTA-side
+  line-rate cost the paper's model prices) and end-to-end through the
+  HFTA answer fold — with the measured winner and the
+  :class:`StrategyPlanner`'s pick recorded side by side.  The curve is
+  equivalence-gated: every strategy's answers and counters must be
+  bit-identical to the hash reference in every regime.
 
 Every fast path must be *bit-identical* to its reference; the suite
 re-asserts that here (``equivalence`` in the JSON) and exits non-zero on
@@ -36,14 +44,16 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.allocation import ExhaustiveAllocator, _ckernel
+from repro.core.allocation import (ExhaustiveAllocator, StrategyPlanner,
+                                   _ckernel)
 from repro.core.choosing.greedy_space import GreedySpace
 from repro.core.configuration import Configuration
 from repro.core.cost_model import CostParameters
 from repro.core.optimizer import plan
 from repro.core.queries import QuerySet
 from repro.core.statistics import RelationStatistics
-from repro.gigascope import HashCache, simulate
+from repro.gigascope import (Dataset, HashCache, StrategyState, StreamSchema,
+                             simulate)
 from repro.observability import MetricsRegistry, RunManifest
 from repro.observability.manifest import current_git_sha
 from repro.workloads import paper_synthetic_dataset
@@ -243,6 +253,134 @@ def _engine_cases(records: int, reps: int, cases: dict,
     checks.append({"name": "engine_hash_cache_parity", "ok": ok})
 
 
+#: The crossover regimes: (name, groups, buckets, epochs, metric, drift).
+#: ``metric`` names the timing each regime's winner is judged on:
+#:
+#: * ``low_load`` is collision-free (g/b ~0.02), so every strategy ships
+#:   one partial per group per epoch — the answer fold costs the same for
+#:   all three and the discriminator is the *engine* line-rate cost (the
+#:   per-record LFTA work the paper's cost model prices). Hash wins: the
+#:   accounting pass is already its emission; sort pays an extra unique,
+#:   shared a persistent-table assignment.
+#: * ``small_recurring`` (tiny recurring group set, heavy collisions,
+#:   many epochs): hash ships one partial per *run*, so the honest
+#:   discriminator is *answer* time (engine pass + exact per-epoch
+#:   totals). The shared table resolves the recurring groups once and
+#:   emits premerged batches the HFTA folds without re-grouping —
+#:   shared wins.
+#: * ``high_cardinality`` (``drift``: a fresh block of ``groups`` group
+#:   values every epoch — the classic drifting-key stream). Sort
+#:   compresses each epoch's collision stream to one partial per group;
+#:   the shared table churns instead of amortizing (every epoch inserts
+#:   unseen groups, regrowing its digest index and widening the table
+#:   its emission scans) — sort wins answer time.
+#: ``epochs=None`` scales with the record budget (~1000 records/epoch)
+#: so the many-epoch regime keeps its shape under ``--quick``.
+_STRATEGY_REGIMES = (
+    ("low_load", 20_000, 1 << 20, 8, "engine", False),
+    ("small_recurring", 64, 8, None, "answer", False),
+    ("high_cardinality", 2000, 256, 8, "answer", True),
+)
+
+
+def _strategy_stream(records: int, groups: int, epochs: int, seed: int,
+                     drift: bool = False) -> Dataset:
+    """A two-attribute stream over ``epochs`` epochs of 5 s.
+
+    Uniform mode draws every record's (A, B) pair from one universe of
+    ``groups`` values; ``drift`` gives each epoch its own fresh block of
+    ``groups`` values (total cardinality ``groups * epochs``).
+    """
+    rng = np.random.default_rng(seed)
+    gid = rng.integers(0, groups, records)
+    if drift:
+        epoch_of = (np.arange(records) * epochs) // records
+        gid = epoch_of * groups + gid
+    schema = StreamSchema(("A", "B"))
+    columns = {"A": gid >> 10, "B": gid & 1023}
+    timestamps = np.linspace(0.0, epochs * 5.0, records, endpoint=False)
+    return Dataset(schema, columns, timestamps, {})
+
+
+def _strategy_cases(records: int, reps: int, checks: list) -> dict:
+    """Time the hash/sort/shared crossover; returns the ``strategy``
+    section of the JSON document.
+
+    Each regime times each strategy twice: the engine pass alone
+    (``engine_seconds`` — the line-rate cost) and engine plus the HFTA
+    answer fold (``answer_seconds`` — the cost to exact per-epoch
+    totals). The regime's ``metric`` field says which one crowns its
+    ``winner`` (see ``_STRATEGY_REGIMES``). Every regime is
+    equivalence-gated: non-hash answers and counters must be
+    bit-identical to hash.
+    """
+    config = Configuration.from_notation("AB")
+    rel = next(iter(config.relations))
+    planner = StrategyPlanner()
+    # Crossover margins are tens of percent, not orders of magnitude —
+    # best-of-2 flips winners under scheduler noise, so floor the reps.
+    reps = max(reps, 5)
+    curve = []
+    for name, groups, buckets, epochs, metric, drift in _STRATEGY_REGIMES:
+        if epochs is None:
+            epochs = max(25, records // 1000)
+        dataset = _strategy_stream(records, groups, epochs, seed=23,
+                                   drift=drift)
+        g_actual = int(np.unique(
+            dataset.columns["A"].astype(np.int64) * 1024
+            + dataset.columns["B"]).size)
+
+        def engine_pass(strategy):
+            return simulate(dataset, config, {rel: buckets},
+                            epoch_seconds=5.0,
+                            strategies=strategy,
+                            strategy_state=StrategyState())
+
+        def answer_pass(strategy):
+            result = engine_pass(strategy)
+            for epoch in result.hfta.epochs(rel):
+                result.hfta.totals(rel, epoch)
+            return result
+
+        engine_s = {}
+        answer_s = {}
+        outputs = {}
+        for strategy in ("hash", "sort", "shared"):
+            seconds, _ = _time_case(lambda s=strategy: engine_pass(s), reps)
+            engine_s[strategy] = seconds
+            seconds, result = _time_case(
+                lambda s=strategy: answer_pass(s), reps)
+            answer_s[strategy] = seconds
+            outputs[strategy] = _engine_outputs(result, config)
+        ok = all(outputs[s] == outputs["hash"] for s in ("sort", "shared"))
+        checks.append({"name": f"strategy_equivalence_{name}", "ok": ok})
+        stats = RelationStatistics.from_counts({str(rel): g_actual})
+        decision = planner.choose(config, stats, {rel: buckets})[0]
+        judged = engine_s if metric == "engine" else answer_s
+        curve.append({
+            "regime": name,
+            "groups": g_actual,
+            "buckets": buckets,
+            "epochs": epochs,
+            "ratio": g_actual / buckets,
+            "records": records,
+            "metric": metric,
+            "engine_seconds": engine_s,
+            "answer_seconds": answer_s,
+            "records_per_sec": {s: records / t for s, t in engine_s.items()},
+            "winner": min(judged, key=judged.get),
+            "winner_engine": min(engine_s, key=engine_s.get),
+            "winner_answer": min(answer_s, key=answer_s.get),
+            "planner_pick": decision.strategy,
+            "planner_reason": decision.reason,
+        })
+    return {
+        "crossover": curve,
+        "planner": {"sort_ratio": planner.sort_ratio,
+                    "shared_max_groups": planner.shared_max_groups},
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.quick:
@@ -257,6 +395,8 @@ def main(argv: list[str] | None = None) -> int:
     _planner_cases(args.reps, cases, checks)
     print("timing engine sweep...")
     _engine_cases(args.records, args.reps, cases, checks)
+    print("timing strategy crossover...")
+    strategy = _strategy_cases(args.records, args.reps, checks)
 
     for name, case in cases.items():
         if case.get("seconds") is not None:
@@ -281,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
         "settings": {"records": args.records, "reps": args.reps,
                      "quick": args.quick},
         "cases": cases,
+        "strategy": strategy,
         "equivalence": {"ok": all_ok, "checks": checks},
     }
     out_path = Path(args.out)
@@ -296,6 +437,14 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(f"{name:>32}: {case['seconds']:.3f} s "
                   f"({case['records_per_sec'] / 1e6:.2f}M rec/s)")
+    for point in strategy["crossover"]:
+        key = f"{point['metric']}_seconds"
+        timing = " ".join(f"{s}={point[key][s] * 1e3:.1f}ms"
+                          for s in ("hash", "sort", "shared"))
+        print(f"{'strategy_' + point['regime']:>32}: "
+              f"g/b={point['ratio']:.2f} winner={point['winner']} "
+              f"planner={point['planner_pick']} "
+              f"[{point['metric']}] ({timing})")
 
     if args.manifest_out:
         manifest = RunManifest.collect(

@@ -36,8 +36,11 @@ from repro.core.allocation.exhaustive import (
     ExhaustiveAllocator,
     compositions,
 )
+from repro.core.allocation.strategy import StrategyDecision, StrategyPlanner
 
 __all__ = [
+    "StrategyDecision",
+    "StrategyPlanner",
     "Allocation",
     "SpaceAllocator",
     "demand_score",

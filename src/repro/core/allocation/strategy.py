@@ -1,0 +1,143 @@
+"""Per-relation aggregation-strategy selection (hash / sort / shared).
+
+The collision model already estimates each relation's group count ``g``;
+together with its planned bucket count ``b``, the ratio ``g/b`` predicts
+the collision regime of its direct-mapped table.  *Global Hash Tables
+Strike Back!* and the hash-vs-sort group-by studies show no single
+aggregation strategy wins across cardinalities, so the
+:class:`StrategyPlanner` picks per relation:
+
+* ``g/b`` at or below :attr:`~StrategyPlanner.sort_ratio` — collisions
+  are rare, the direct-mapped ``hash`` machine's per-run emission is
+  already near one partial per group, and it avoids any extra grouping
+  pass;
+* above the crossover with ``g`` at most
+  :attr:`~StrategyPlanner.shared_max_groups` — a small recurring group
+  set amortizes one exact persistent ``shared`` table across epochs;
+* above the crossover with large ``g`` — full ``sort``-based grouping,
+  which collapses the collision-inflated run stream to one partial per
+  group per epoch without holding a cross-epoch table.
+
+Interior relations always stay ``hash``: their eviction streams are the
+inputs of their children, so the machine being simulated (and every
+measured counter) depends on them.  The decisions are plain data
+(:class:`StrategyDecision`) so runs can record *why* each relation got
+its strategy in manifests and metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.attributes import AttributeSet
+from repro.core.configuration import Configuration
+from repro.core.statistics import RelationStatistics
+
+__all__ = ["StrategyDecision", "StrategyPlanner"]
+
+
+@dataclass(frozen=True)
+class StrategyDecision:
+    """One relation's strategy choice and the evidence behind it."""
+
+    relation: AttributeSet
+    strategy: str
+    groups: float | None
+    buckets: int
+    reason: str
+
+    @property
+    def ratio(self) -> float | None:
+        """The collision-model load factor ``g/b`` (None without stats)."""
+        if self.groups is None or self.buckets <= 0:
+            return None
+        return self.groups / self.buckets
+
+    def to_dict(self) -> dict:
+        return {
+            "relation": self.relation.label(),
+            "strategy": self.strategy,
+            "groups": self.groups,
+            "buckets": self.buckets,
+            "ratio": self.ratio,
+            "reason": self.reason,
+        }
+
+
+class StrategyPlanner:
+    """Picks hash / sort / shared per relation from ``g/b`` estimates.
+
+    sort_ratio:
+        The ``g/b`` crossover: at or below it the hash machine keeps the
+        relation; above it collisions shred runs and a grouping strategy
+        pays off. The default (4.0) comes from the strategy-crossover
+        curve in ``BENCH_perf.json`` (see ``docs/strategies.md``).
+    shared_max_groups:
+        Largest group count for which the persistent shared table is
+        preferred over per-epoch sorting; beyond it the table's exact
+        insert path dominates and ``sort`` wins.
+    """
+
+    def __init__(self, sort_ratio: float = 4.0,
+                 shared_max_groups: int = 4096):
+        if sort_ratio <= 0:
+            raise ValueError(f"sort_ratio must be > 0, got {sort_ratio}")
+        if shared_max_groups < 0:
+            raise ValueError("shared_max_groups must be >= 0, "
+                             f"got {shared_max_groups}")
+        self.sort_ratio = float(sort_ratio)
+        self.shared_max_groups = int(shared_max_groups)
+
+    def choose(self, configuration: Configuration,
+               statistics: RelationStatistics,
+               buckets: Mapping[AttributeSet, int]
+               ) -> list[StrategyDecision]:
+        """One :class:`StrategyDecision` per relation, topological order."""
+        decisions = []
+        for rel in configuration.relations:
+            b = int(buckets[rel])
+            if not configuration.is_leaf(rel):
+                decisions.append(StrategyDecision(
+                    rel, "hash", self._groups(statistics, rel), b,
+                    "interior relation feeds children through the hash "
+                    "eviction stream"))
+                continue
+            g = self._groups(statistics, rel)
+            if g is None:
+                decisions.append(StrategyDecision(
+                    rel, "hash", None, b,
+                    "no group-count statistics; keeping the default"))
+            elif b > 0 and g / b <= self.sort_ratio:
+                decisions.append(StrategyDecision(
+                    rel, "hash", g, b,
+                    f"g/b = {g / b:.2f} <= {self.sort_ratio:g}: few "
+                    "collisions, the direct-mapped table is near-optimal"))
+            elif g <= self.shared_max_groups:
+                decisions.append(StrategyDecision(
+                    rel, "shared", g, b,
+                    f"g/b = {g / b:.2f} > {self.sort_ratio:g} and g = "
+                    f"{g:.0f} <= {self.shared_max_groups}: small recurring "
+                    "group set, one persistent exact table"))
+            else:
+                decisions.append(StrategyDecision(
+                    rel, "sort", g, b,
+                    f"g/b = {g / b:.2f} > {self.sort_ratio:g} and g = "
+                    f"{g:.0f} > {self.shared_max_groups}: sort-aggregate "
+                    "collapses the collision stream per epoch"))
+        return decisions
+
+    def strategies(self, configuration: Configuration,
+                   statistics: RelationStatistics,
+                   buckets: Mapping[AttributeSet, int]
+                   ) -> dict[AttributeSet, str]:
+        """The per-relation mapping :func:`~repro.gigascope.strategy.
+        resolve_strategies` (and every runtime ``strategy=``) accepts."""
+        return {d.relation: d.strategy
+                for d in self.choose(configuration, statistics, buckets)}
+
+    @staticmethod
+    def _groups(statistics: RelationStatistics,
+                rel: AttributeSet) -> float | None:
+        return (statistics.group_count(rel)
+                if statistics is not None and statistics.has(rel) else None)

@@ -22,6 +22,12 @@ from repro.gigascope.hashing import HashCache
 from repro.gigascope.lfta import SequentialLFTA, run_reference
 from repro.gigascope.runtime import RunReport, StreamSystem
 from repro.gigascope.online import EpochReport, LiveStreamSystem
+from repro.gigascope.strategy import (
+    STRATEGIES,
+    SharedGroupTable,
+    StrategyState,
+    resolve_strategies,
+)
 from repro.gigascope.load import LoadModel
 from repro.gigascope.filters import (
     And,
@@ -52,6 +58,10 @@ __all__ = [
     "StreamSystem",
     "EpochReport",
     "LiveStreamSystem",
+    "STRATEGIES",
+    "SharedGroupTable",
+    "StrategyState",
+    "resolve_strategies",
     "And",
     "BitMask",
     "Bucketize",

@@ -29,12 +29,18 @@ from repro.errors import ConfigurationError
 from repro.gigascope.hashing import (
     HashCache,
     bucket_indices,
+    combine_columns,
     pack_tuples,
     relation_salt,
 )
 from repro.gigascope.hfta import HFTA
 from repro.gigascope.metrics import CostCounters, SimulationResult
 from repro.gigascope.records import Dataset
+from repro.gigascope.strategy import (
+    SharedGroupTable,
+    StrategyState,
+    resolve_strategies,
+)
 from repro.observability.tracing import trace
 
 __all__ = ["simulate"]
@@ -53,7 +59,10 @@ def simulate(dataset: Dataset, config: Configuration,
              counters: CostCounters | None = None,
              hfta: HFTA | None = None,
              registry=None,
-             hash_cache: HashCache | None = None) -> SimulationResult:
+             hash_cache: HashCache | None = None,
+             strategies: str | dict | None = None,
+             strategy_state: StrategyState | None = None
+             ) -> SimulationResult:
     """Stream a dataset through a configuration; return counters + HFTA.
 
     Pass existing ``counters``/``hfta`` to accumulate across several calls
@@ -68,6 +77,16 @@ def simulate(dataset: Dataset, config: Configuration,
     bucket-count sweeps — leaving only the ``% buckets`` reduction per
     sweep point. Results are bit-identical with or without it (fed
     relations are never cached; their streams depend on parent sizes).
+    Cached codes and digests are strategy-invariant, so one cache may be
+    shared across runs that flip strategies between sweeps.
+
+    ``strategies`` selects the per-relation execution strategy (see
+    :mod:`repro.gigascope.strategy`): None/"hash" reproduce the paper's
+    direct-mapped machine; ``sort``/``shared`` change only how leaf
+    partials reach the HFTA — answers and cost counters stay
+    bit-identical. ``strategy_state`` carries the ``shared`` strategy's
+    persistent tables across calls (the incremental runtime passes one
+    per system); a fresh state is created per call when omitted.
     """
     table_sizes: dict[AttributeSet, int] = {}
     for rel in config.relations:
@@ -81,13 +100,18 @@ def simulate(dataset: Dataset, config: Configuration,
     max_b = max(table_sizes.values())
     counters = counters if counters is not None else CostCounters(config)
     hfta = hfta if hfta is not None else HFTA()
+    resolved = resolve_strategies(config, strategies)
+    if strategy_state is None and \
+            any(s == "shared" for s in resolved.values()):
+        strategy_state = StrategyState()
     n_epochs = 0
     with trace(registry, "engine"):
         for epoch_id, start, end in dataset.epoch_slices(epoch_seconds):
             n_epochs += 1
             _simulate_epoch(dataset, config, table_sizes, salts, depths,
                             max_b, counters, hfta, epoch_id, start, end,
-                            value_column, hash_cache)
+                            value_column, hash_cache, resolved,
+                            strategy_state)
     if registry is not None:
         registry.counter("engine.records").inc(len(dataset))
         registry.counter("engine.epochs").inc(n_epochs)
@@ -101,7 +125,9 @@ def _simulate_epoch(dataset: Dataset, config: Configuration,
                     counters: CostCounters, hfta: HFTA, epoch_id: int,
                     start: int, end: int,
                     value_column: str | None,
-                    hash_cache: HashCache | None = None) -> None:
+                    hash_cache: HashCache | None = None,
+                    strategies: dict[AttributeSet, str] | None = None,
+                    strategy_state: StrategyState | None = None) -> None:
     n = end - start
     stride = np.int64(n + max_b + 2)
     times0 = np.arange(n, dtype=np.int64)
@@ -124,17 +150,25 @@ def _simulate_epoch(dataset: Dataset, config: Configuration,
             hashed = hash_cache.codes_and_digests(
                 rel.label(), salts[rel], (epoch_id, start, end),
                 lambda: [cols[a] for a in rel.names])
+        strategy = strategies[rel] if strategies is not None else "hash"
+        table = (strategy_state.table(rel.label(), rel.names)
+                 if strategy == "shared" else None)
         evicted = _process_relation(
             rel, t, w, vs, vmin, vmax, cols, n, stride, table_sizes[rel],
             salts[rel], depths[rel], counters,
-            times_sorted=rel in raw, hashed=hashed)
+            times_sorted=rel in raw, hashed=hashed,
+            strategy=strategy, table=table)
         if evicted is None:
             continue
         ev_t, ev_w, ev_vs, ev_vmin, ev_vmax, ev_cols = evicted
         children = config.children(rel)
         if not children:
+            # A shared-table emission is one row per present slot — the
+            # exact global table yields no collision duplicates, so the
+            # HFTA can skip its group-unique merge for the batch.
             hfta.ingest_arrays(rel, epoch_id, ev_cols, ev_w, ev_vs,
-                               ev_vmin, ev_vmax)
+                               ev_vmin, ev_vmax,
+                               premerged=strategy == "shared")
             continue
         for child in children:
             child_cols = {a: ev_cols[a] for a in child.names}
@@ -150,6 +184,8 @@ def _process_relation(rel: AttributeSet, t: np.ndarray, w: np.ndarray,
                       depth: int, counters: CostCounters,
                       times_sorted: bool = False,
                       hashed: tuple[np.ndarray, np.ndarray] | None = None,
+                      strategy: str = "hash",
+                      table: SharedGroupTable | None = None,
                       ) -> _Arrivals | None:
     c = counters.counters(rel)
     m = int(t.shape[0])
@@ -159,8 +195,15 @@ def _process_relation(rel: AttributeSet, t: np.ndarray, w: np.ndarray,
     c.arrivals_intra += intra
     c.arrivals_flush += m - intra
 
+    digests = None
     if hashed is not None:
         key, digests = hashed
+        bkt = (digests % np.uint64(n_buckets)).astype(np.int64)
+    elif strategy == "shared":
+        # The shared table reuses the bucket chain digests as its index,
+        # so compute them explicitly instead of through bucket_indices.
+        key = pack_tuples([cols[a] for a in rel.names])
+        digests = combine_columns([cols[a] for a in rel.names], salt)
         bkt = (digests % np.uint64(n_buckets)).astype(np.int64)
     else:
         key = pack_tuples([cols[a] for a in rel.names])
@@ -212,5 +255,75 @@ def _process_relation(rel: AttributeSet, t: np.ndarray, w: np.ndarray,
     c.evictions_flush += n_runs - ev_intra
 
     rep = order[run_start]
+    # The accounting above is common to every strategy (the direct-mapped
+    # machine is always simulated, so counters are strategy-invariant);
+    # only the emission data path below differs. Non-hash emissions fold
+    # per-group partials over runs *in run order* — the same order the
+    # HFTA's own merge folds the hash path's per-run batch — so value
+    # sums are bit-identical, not merely numerically close.
+    if strategy == "sort":
+        return _emit_sorted(rel, sk, run_start, run_w, run_vs, run_vmin,
+                            run_vmax, rep, cols)
+    if strategy == "shared":
+        return _emit_shared(rel, table, digests, run_w, run_vs, run_vmin,
+                            run_vmax, rep, cols)
     ev_cols = {a: cols[a][rep] for a in rel.names}
     return evict_t, run_w, run_vs, run_vmin, run_vmax, ev_cols
+
+
+def _emit_sorted(rel: AttributeSet, sk: np.ndarray, run_start: np.ndarray,
+                 run_w: np.ndarray, run_vs: np.ndarray | None,
+                 run_vmin: np.ndarray | None, run_vmax: np.ndarray | None,
+                 rep: np.ndarray, cols: dict[str, np.ndarray]
+                 ) -> _Arrivals:
+    """Sort-aggregate emission: one merged partial per group per epoch.
+
+    The runs are already sorted by (bucket, time); grouping their packed
+    keys reduces the epoch's ``r`` run partials to ``g`` group partials
+    before the HFTA ever sees them — the win when collisions make
+    ``r >> g``."""
+    _, first, inverse = np.unique(sk[run_start], return_index=True,
+                                  return_inverse=True)
+    g = int(first.shape[0])
+    g_w = np.bincount(inverse, weights=run_w, minlength=g).astype(np.int64)
+    g_vs = (np.bincount(inverse, weights=run_vs, minlength=g)
+            if run_vs is not None else None)
+    g_vmin = g_vmax = None
+    if run_vmin is not None:
+        g_vmin = np.full(g, np.inf)
+        np.minimum.at(g_vmin, inverse, run_vmin)
+        g_vmax = np.full(g, -np.inf)
+        np.maximum.at(g_vmax, inverse, run_vmax)
+    rep_g = rep[first]
+    ev_cols = {a: cols[a][rep_g] for a in rel.names}
+    return None, g_w, g_vs, g_vmin, g_vmax, ev_cols
+
+
+def _emit_shared(rel: AttributeSet, table: SharedGroupTable,
+                 digests: np.ndarray, run_w: np.ndarray,
+                 run_vs: np.ndarray | None, run_vmin: np.ndarray | None,
+                 run_vmax: np.ndarray | None, rep: np.ndarray,
+                 cols: dict[str, np.ndarray]) -> _Arrivals:
+    """Shared-global-table emission: persistent exact slots, no rebuild.
+
+    Each run's representative resolves to a slot in the relation's
+    cross-epoch :class:`SharedGroupTable`; the epoch emits one partial
+    per *present* slot, with group columns gathered from the table."""
+    slots = table.assign(digests[rep], [cols[a][rep] for a in rel.names])
+    size = len(table)
+    present = np.bincount(slots, minlength=size) > 0
+    g_w = np.bincount(slots, weights=run_w,
+                      minlength=size).astype(np.int64)[present]
+    g_vs = (np.bincount(slots, weights=run_vs, minlength=size)[present]
+            if run_vs is not None else None)
+    g_vmin = g_vmax = None
+    if run_vmin is not None:
+        g_vmin = np.full(size, np.inf)
+        np.minimum.at(g_vmin, slots, run_vmin)
+        g_vmin = g_vmin[present]
+        g_vmax = np.full(size, -np.inf)
+        np.maximum.at(g_vmax, slots, run_vmax)
+        g_vmax = g_vmax[present]
+    ev_cols = {a: stored[present]
+               for a, stored in zip(rel.names, table.arrays())}
+    return None, g_w, g_vs, g_vmin, g_vmax, ev_cols

@@ -56,6 +56,8 @@ class HFTA:
         self._batches: dict[tuple[AttributeSet, int], list[_Batch]] = \
             defaultdict(list)
         self._totals_cache: dict[tuple[AttributeSet, int], _GroupTotals] = {}
+        #: Keys whose every batch arrived pre-merged (one row per group).
+        self._premerged: set[tuple[AttributeSet, int]] = set()
         self.evictions_received = 0
 
     # ------------------------------------------------------------------
@@ -66,8 +68,17 @@ class HFTA:
                       counts: np.ndarray,
                       value_sums: np.ndarray | None = None,
                       value_mins: np.ndarray | None = None,
-                      value_maxs: np.ndarray | None = None) -> None:
-        """Accept a batch of evicted entries as aligned arrays."""
+                      value_maxs: np.ndarray | None = None,
+                      premerged: bool = False) -> None:
+        """Accept a batch of evicted entries as aligned arrays.
+
+        ``premerged`` declares that the batch already holds exactly one
+        row per group — the ``shared``-strategy emission, whose exact
+        global table produces no collision duplicates. An epoch whose
+        only batch is premerged skips the group-unique merge entirely in
+        :meth:`totals` (the answers are bit-identical either way; a
+        single-row "bin" folds to its own value).
+        """
         n = int(np.asarray(counts).shape[0])
         if n == 0:
             return
@@ -78,9 +89,14 @@ class HFTA:
                  else np.asarray(value_mins, dtype=np.float64))
         vmaxs = (None if value_maxs is None
                  else np.asarray(value_maxs, dtype=np.float64))
-        self._batches[(relation, epoch)].append(
+        key = (relation, epoch)
+        if premerged and key not in self._batches:
+            self._premerged.add(key)
+        elif not premerged:
+            self._premerged.discard(key)
+        self._batches[key].append(
             (cols, np.asarray(counts, dtype=np.int64), vsums, vmins, vmaxs))
-        self._totals_cache.pop((relation, epoch), None)
+        self._totals_cache.pop(key, None)
         self.evictions_received += n
 
     def ingest_evictions(self, relation: AttributeSet, epoch: int,
@@ -110,9 +126,20 @@ class HFTA:
         would have produced.
         """
         for key, batches in other._batches.items():
+            if key in other._premerged and key not in self._batches:
+                self._premerged.add(key)
+            else:
+                self._premerged.discard(key)
             self._batches[key].extend(batches)
             self._totals_cache.pop(key, None)
         self.evictions_received += other.evictions_received
+
+    def __setstate__(self, state: dict) -> None:
+        # Checkpoints written before the premerged fast path existed
+        # unpickle without the flag set; default it empty (always safe —
+        # the flag only ever skips work, never changes answers).
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_premerged", set())
 
     # ------------------------------------------------------------------
     # Results
@@ -134,6 +161,22 @@ class HFTA:
             return self._totals_cache[key]
         batches = self._batches.get(key, [])
         merged: _GroupTotals = {}
+        if len(batches) == 1 and key in self._premerged:
+            # A lone premerged batch is already one row per group: fold
+            # each row to itself instead of group-uniquing the matrix.
+            # (A single-row bincount bin sums to its own float, so the
+            # aggregates are bit-identical to the merge path's.)
+            cols, counts, vsums, vmins, vmaxs = batches[0]
+            n = counts.shape[0]
+            rows = zip(*(cols[name].tolist() for name in relation.names))
+            lows = vmins.tolist() if vmins is not None else [math.inf] * n
+            highs = (vmaxs.tolist() if vmaxs is not None
+                     else [-math.inf] * n)
+            for row, c, s, lo, hi in zip(rows, counts.tolist(),
+                                         vsums.tolist(), lows, highs):
+                merged[row] = GroupAggregate(c, s, lo, hi)
+            self._totals_cache[key] = merged
+            return merged
         if batches:
             names = relation.names
             stacked = {

@@ -30,6 +30,11 @@ from repro.gigascope.engine import simulate
 from repro.gigascope.hfta import HFTA
 from repro.gigascope.metrics import CostCounters
 from repro.gigascope.records import Dataset, StreamSchema
+from repro.gigascope.strategy import (
+    StrategyState,
+    record_strategy_metrics,
+    resolve_strategies,
+)
 from repro.observability.tracing import trace
 
 __all__ = ["EpochReport", "LiveStreamSystem"]
@@ -73,6 +78,7 @@ class _Era:
 
     configuration: Configuration
     buckets: dict[AttributeSet, int]
+    strategies: dict[AttributeSet, str]
     counters: CostCounters = field(init=False)
 
     def __post_init__(self) -> None:
@@ -86,7 +92,7 @@ class LiveStreamSystem:
                  plan: Plan, params: CostParameters | None = None,
                  value_column: str | None = None,
                  controller=None, salt_seed: int = 0,
-                 where=None, registry=None):
+                 where=None, registry=None, strategy=None):
         self.schema = schema
         self.queries = queries
         self.params = params or CostParameters()
@@ -100,6 +106,10 @@ class LiveStreamSystem:
         self.eras: list[_Era] = []
         self.epoch_reports: list[EpochReport] = []
         self.reconfigurations: list[tuple[int, Configuration]] = []
+        #: The user's strategy spec, kept verbatim so reconfigurations can
+        #: re-resolve it against each new plan's configuration.
+        self.strategy_spec = strategy
+        self._strategy_state = StrategyState()
         self._apply_plan(plan)
         # Buffered records of the (single) currently open epoch.
         self._pending_cols: dict[str, list[np.ndarray]] = \
@@ -113,11 +123,16 @@ class LiveStreamSystem:
     # ------------------------------------------------------------------
     # Configuration management
     # ------------------------------------------------------------------
-    def _apply_plan(self, plan: Plan) -> None:
+    def _apply_plan(self, plan: Plan, strict: bool = True) -> None:
         _require_plan_covers(self.queries, plan)
         buckets = {rel: max(int(b), 1)
                    for rel, b in plan.allocation.buckets.items()}
-        self.eras.append(_Era(plan.configuration, buckets))
+        # The first era resolves strictly (a bad spec should fail at
+        # construction); later eras resolve leniently because a mapping
+        # spec may name relations the new plan no longer instantiates.
+        strategies = resolve_strategies(plan.configuration,
+                                        self.strategy_spec, strict=strict)
+        self.eras.append(_Era(plan.configuration, buckets, strategies))
         self._staged_plan: Plan | None = None
         self._staged_queries: QuerySet | None = None
 
@@ -270,7 +285,8 @@ class LiveStreamSystem:
             simulate(dataset, era.configuration, era.buckets,
                      self.epoch_seconds, self.value_column, self.salt_seed,
                      counters=era.counters, hfta=self.hfta,
-                     registry=self.registry)
+                     registry=self.registry, strategies=era.strategies,
+                     strategy_state=self._strategy_state)
         report = EpochReport(
             epoch, len(dataset), era.configuration,
             era.counters.measured_intra_cost(self.params).total
@@ -288,6 +304,8 @@ class LiveStreamSystem:
                 report.intra_cost)
             self.registry.histogram("live.epoch_flush_cost").observe(
                 report.flush_cost)
+            record_strategy_metrics(self.registry, era.strategies,
+                                    self._strategy_state)
         self._pending_cols = {a: [] for a in self.schema.attributes}
         self._pending_vals = []
         self._pending_times = []
@@ -300,7 +318,7 @@ class LiveStreamSystem:
             staged = self._staged_plan
             if self._staged_queries is not None:
                 self.queries = self._staged_queries
-            self._apply_plan(staged)
+            self._apply_plan(staged, strict=False)
             self.reconfigurations.append((epoch + 1, staged.configuration))
             if self.registry is not None:
                 self.registry.counter("live.reconfigurations").inc()

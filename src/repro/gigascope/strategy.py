@@ -1,0 +1,282 @@
+"""Per-relation execution strategies for the vectorized engine.
+
+The paper's LFTA tier always aggregates through direct-mapped hash
+tables (partition-then-merge).  Following *Global Hash Tables Strike
+Back!* and the hash-vs-sort group-by literature, the engine now supports
+three per-relation strategies:
+
+``hash`` (default)
+    The paper's machine: a direct-mapped table whose collision evictions
+    stream to the HFTA (or to child relations).  This is the reference
+    every other strategy is pinned against.
+``sort``
+    Full sort-based grouping for high-``g/b`` epochs: the engine's
+    stable argsort already orders arrivals by (bucket, time); the sort
+    path extends it to complete grouping and emits exactly one merged
+    partial per group per epoch straight to the HFTA, skipping the
+    direct-mapped table's collision stream entirely.
+``shared``
+    One exact, persistent global table for low-cardinality relations:
+    group rows are resolved against a digest-indexed table that lives
+    across epochs (no collision evictions, no per-epoch rebuild), and
+    each epoch emits one partial per present group.
+
+All three strategies share the engine's accounting pass — the
+direct-mapped table is always *simulated* (bucket placement, run
+detection, eviction classification), so measured cost counters are
+bit-identical across strategies by construction.  Strategies only change
+the emission data path from leaf relations to the HFTA; answers are
+bit-identical too because per-group partials are folded in the same
+(run-time) order the hash path's HFTA merge would use.
+
+Non-hash strategies are restricted to **leaf** relations: an interior
+relation's eviction stream *is* the input of its children, so replacing
+it would change the machine being simulated (and every downstream
+counter).  :func:`resolve_strategies` enforces this with a typed
+:class:`~repro.errors.ConfigurationError` naming the relation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.attributes import AttributeSet
+from repro.core.configuration import Configuration
+from repro.errors import ConfigurationError
+from repro.gigascope.hashing import pack_tuples
+
+__all__ = [
+    "STRATEGIES",
+    "SharedGroupTable",
+    "StrategyState",
+    "record_strategy_metrics",
+    "resolve_strategies",
+    "strategy_code",
+]
+
+#: Recognised per-relation execution strategies, in gauge-code order.
+STRATEGIES = ("hash", "sort", "shared")
+
+
+def strategy_code(name: str) -> int:
+    """Stable numeric encoding of a strategy for metric gauges."""
+    return STRATEGIES.index(name)
+
+
+def resolve_strategies(configuration: Configuration,
+                       spec: str | Mapping | None,
+                       strict: bool = True) -> dict[AttributeSet, str]:
+    """Expand a strategy spec into a complete per-relation mapping.
+
+    ``spec`` may be None (everything ``hash``), a single strategy name
+    (applied to every *leaf* relation; interior relations always stay
+    ``hash`` because their eviction streams feed children), or a mapping
+    of relation (``AttributeSet`` or label string) to strategy name.
+
+    Raises :class:`~repro.errors.ConfigurationError` naming the relation
+    when an override targets a relation the configuration does not
+    instantiate (``strict=False`` skips those instead — used when a
+    stored spec is re-resolved against a reconfigured plan) or asks for
+    a non-hash strategy on an interior relation.
+    """
+    resolved = {rel: "hash" for rel in configuration.relations}
+    if spec is None:
+        return resolved
+    if isinstance(spec, str):
+        _check_name(spec)
+        if spec != "hash":
+            for rel in configuration.leaves:
+                resolved[rel] = spec
+        return resolved
+    by_label = {rel.label(): rel for rel in configuration.relations}
+    for key, name in spec.items():
+        _check_name(name)
+        rel = by_label.get(key.label() if isinstance(key, AttributeSet)
+                           else str(key))
+        if rel is None:
+            if strict:
+                label = key.label() if isinstance(key, AttributeSet) else key
+                raise ConfigurationError(
+                    f"strategy override names relation {label!r}, which "
+                    "the configuration does not instantiate (it has no "
+                    "buckets= entry)")
+            continue
+        if name != "hash" and not configuration.is_leaf(rel):
+            raise ConfigurationError(
+                f"relation {rel.label()} cannot use the {name!r} strategy: "
+                "interior relations feed their children through the hash "
+                "eviction stream (only leaf relations may switch)")
+        resolved[rel] = name
+    return resolved
+
+
+def _check_name(name: str) -> None:
+    if name not in STRATEGIES:
+        raise ConfigurationError(
+            f"unknown strategy {name!r} (choose from {STRATEGIES})")
+
+
+def record_strategy_metrics(registry, strategies: Mapping,
+                            state: "StrategyState | None" = None) -> None:
+    """Publish a run's strategy picture into a metrics registry.
+
+    One ``strategy.<relation>`` gauge per relation (coded via
+    :func:`strategy_code`), one ``strategies`` event naming every
+    non-default choice, and — when a ``shared`` table state is live —
+    its table/slot/fast-path counters under ``strategy.shared.*``.
+    """
+    non_default = {}
+    for rel, name in strategies.items():
+        registry.gauge(f"strategy.{rel.label()}").set(strategy_code(name))
+        if name != "hash":
+            non_default[rel.label()] = name
+    if non_default:
+        registry.event("strategies", **non_default)
+    if state is not None and state.tables:
+        for key, value in state.stats().items():
+            registry.gauge(f"strategy.shared.{key}").set(value)
+
+
+class SharedGroupTable:
+    """One exact, persistent group table for a ``shared``-strategy relation.
+
+    Rows are resolved through a sorted-digest ``searchsorted`` fast path
+    (the engine already computes the salted splitmix64 chain digest of
+    every arrival for bucket placement); a matched digest is verified
+    against the stored group columns, and any unverified row — an unseen
+    group or one of the ~2^-64 digest collisions — falls back to an
+    authoritative Python dict keyed by the actual group tuple.  The table
+    is therefore exact under any input, with the fast path covering all
+    but pathological streams.
+
+    Slot ids are assigned deterministically from the stream history, so
+    two runs fed the same records resolve identical slots — the property
+    the pipelined executor's per-shard bit-identity assertions rely on.
+    """
+
+    def __init__(self, names: Sequence[str]):
+        self.names = tuple(names)
+        self._slots: dict[tuple[int, ...], int] = {}
+        self._digests = np.empty(0, dtype=np.uint64)
+        self._digest_slots = np.empty(0, dtype=np.int64)
+        self._columns: list[list[int]] = [[] for _ in self.names]
+        self._arrays_cache: list[np.ndarray] | None = None
+        #: Rows resolved by the sorted-digest fast path / the exact dict.
+        self.fast_hits = 0
+        self.dict_resolutions = 0
+        #: Distinct group tuples that hashed to an already-taken digest.
+        self.digest_collisions = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def arrays(self) -> list[np.ndarray]:
+        """Stored group columns (one int64 array per name, slot-indexed)."""
+        if self._arrays_cache is None:
+            self._arrays_cache = [np.asarray(col, dtype=np.int64)
+                                  for col in self._columns]
+        return self._arrays_cache
+
+    def assign(self, digests: np.ndarray,
+               columns: Sequence[np.ndarray]) -> np.ndarray:
+        """Slot id per row, inserting unseen groups as they appear."""
+        m = int(digests.shape[0])
+        slots = np.empty(m, dtype=np.int64)
+        nd = int(self._digests.shape[0])
+        if nd:
+            pos = np.minimum(np.searchsorted(self._digests, digests), nd - 1)
+            cand = self._digest_slots[pos]
+            match = self._digests[pos] == digests
+            if match.any():
+                stored = self.arrays()
+                for col, ref in zip(columns, stored):
+                    match &= col == ref[cand]
+            slots[match] = cand[match]
+            miss = np.flatnonzero(~match)
+            self.fast_hits += m - miss.shape[0]
+        else:
+            miss = np.arange(m, dtype=np.int64)
+        if miss.shape[0]:
+            self._assign_slow(slots, miss, digests, columns)
+        return slots
+
+    def _assign_slow(self, slots: np.ndarray, miss: np.ndarray,
+                     digests: np.ndarray,
+                     columns: Sequence[np.ndarray]) -> None:
+        """Exact dict path for unverified rows (new groups, collisions)."""
+        self.dict_resolutions += int(miss.shape[0])
+        sub = [np.asarray(col[miss]) for col in columns]
+        _, first, inverse = np.unique(pack_tuples(sub), return_index=True,
+                                      return_inverse=True)
+        uniq_slots = np.empty(first.shape[0], dtype=np.int64)
+        inserted: list[tuple[int, int]] = []
+        for j, fi in enumerate(first):
+            tup = tuple(int(col[fi]) for col in sub)
+            slot = self._slots.get(tup)
+            if slot is None:
+                slot = len(self._slots)
+                self._slots[tup] = slot
+                for k, v in enumerate(tup):
+                    self._columns[k].append(v)
+                self._arrays_cache = None
+                inserted.append((int(digests[miss[fi]]), slot))
+            uniq_slots[j] = slot
+        slots[miss] = uniq_slots[inverse]
+        if inserted:
+            self._index_digests(inserted)
+
+    def _index_digests(self, inserted: list[tuple[int, int]]) -> None:
+        """Merge new (digest, slot) pairs into the sorted fast-path index,
+        skipping digests already claimed by another group (collisions stay
+        on the dict path forever — exactness over speed)."""
+        fresh: dict[int, int] = {}
+        for digest, slot in inserted:
+            if digest in fresh or \
+                    self._digest_known(np.uint64(digest)):
+                self.digest_collisions += 1
+                continue
+            fresh[digest] = slot
+        if not fresh:
+            return
+        digests = np.concatenate(
+            [self._digests, np.fromiter(fresh.keys(), dtype=np.uint64,
+                                        count=len(fresh))])
+        slot_ids = np.concatenate(
+            [self._digest_slots, np.fromiter(fresh.values(), dtype=np.int64,
+                                             count=len(fresh))])
+        order = np.argsort(digests, kind="stable")
+        self._digests = digests[order]
+        self._digest_slots = slot_ids[order]
+
+    def _digest_known(self, digest: np.uint64) -> bool:
+        pos = int(np.searchsorted(self._digests, digest))
+        return pos < self._digests.shape[0] and \
+            self._digests[pos] == digest
+
+
+class StrategyState:
+    """Cross-epoch state of the non-hash strategies: one persistent
+    :class:`SharedGroupTable` per ``shared`` relation, keyed by label so
+    the table survives reconfigurations that keep the relation."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, SharedGroupTable] = {}
+
+    def table(self, label: str, names: Sequence[str]) -> SharedGroupTable:
+        table = self.tables.get(label)
+        if table is None:
+            table = self.tables[label] = SharedGroupTable(names)
+        return table
+
+    def stats(self) -> dict[str, int]:
+        """Aggregated table counters, for metric counters and manifests."""
+        out = {"tables": len(self.tables), "slots": 0, "fast_hits": 0,
+               "dict_resolutions": 0, "digest_collisions": 0}
+        for table in self.tables.values():
+            out["slots"] += len(table)
+            out["fast_hits"] += table.fast_hits
+            out["dict_resolutions"] += table.dict_resolutions
+            out["digest_collisions"] += table.digest_collisions
+        return out

@@ -63,6 +63,7 @@ from repro.gigascope.engine import simulate
 from repro.gigascope.metrics import SimulationResult
 from repro.gigascope.records import Dataset
 from repro.gigascope.runtime import RunReport, StreamSystem
+from repro.gigascope.strategy import record_strategy_metrics
 from repro.observability import MetricsRegistry
 from repro.parallel.merge import merge_results
 from repro.parallel.partition import (HashPartitioner, shard_balance,
@@ -92,6 +93,7 @@ class _ShardJob(NamedTuple):
     epoch_seconds: float
     value_column: str | None
     salt_seed: int
+    strategies: dict[AttributeSet, str] | None = None
 
 
 _ShardOutcome = tuple[int, SimulationResult, MetricsRegistry]
@@ -118,7 +120,7 @@ def _run_shard(job: _ShardJob, attempt: int = 1,
     registry = MetricsRegistry()
     result = simulate(job.dataset, job.configuration, job.buckets,
                       job.epoch_seconds, job.value_column, job.salt_seed,
-                      registry=registry)
+                      registry=registry, strategies=job.strategies)
     if fault is not None and fault.kind == "corrupt":
         # Falsified record count, missing sub-registry: garbage the
         # parent's outcome validation must reject.
@@ -237,7 +239,8 @@ class ShardedStreamSystem:
                  retry: RetryPolicy | None = None,
                  fault_plan: FaultPlan | None = None,
                  pipeline_chunk_records: int = 32768,
-                 pipeline_ring_slots: int = 4):
+                 pipeline_ring_slots: int = 4,
+                 strategy=None):
         if int(shards) < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
         if executor not in _EXECUTORS:
@@ -249,7 +252,7 @@ class ShardedStreamSystem:
         self._single = StreamSystem(
             dataset, queries, configuration, buckets, plan=plan,
             params=params, value_column=value_column, salt_seed=salt_seed,
-            where=where)
+            where=where, strategy=strategy)
         self.shards = int(shards)
         unsplittable = [rel for rel, b in self._single.buckets.items()
                         if b < self.shards]
@@ -319,6 +322,11 @@ class ShardedStreamSystem:
     @property
     def params(self) -> CostParameters:
         return self._single.params
+
+    @property
+    def strategies(self) -> dict[AttributeSet, str]:
+        """Resolved per-relation execution strategies (shared by shards)."""
+        return self._single.strategies
 
     @property
     def value_column(self) -> str | None:
@@ -393,6 +401,7 @@ class ShardedStreamSystem:
         for index, _, shard_registry in outcomes:
             registry.merge(shard_registry, prefix=f"shard{index}.")
         registry.gauge("shards").set(self.shards)
+        record_strategy_metrics(registry, self._single.strategies)
         with registry.span("merge"):
             merged = merge_results(
                 results, self._single.configuration,
@@ -409,7 +418,8 @@ class ShardedStreamSystem:
         jobs: list[_ShardJob] = [
             _ShardJob(index, shard, self._single.configuration,
                       self.shard_buckets, epoch_seconds,
-                      self.value_column, self._single.salt_seed)
+                      self.value_column, self._single.salt_seed,
+                      self._single.strategies)
             for index, shard in enumerate(
                 split_dataset(dataset, shard_ids, self.shards))
             if len(shard)
@@ -417,7 +427,8 @@ class ShardedStreamSystem:
         if not jobs:
             jobs = [_ShardJob(0, dataset, self._single.configuration,
                               self.shard_buckets, epoch_seconds,
-                              self.value_column, self._single.salt_seed)]
+                              self.value_column, self._single.salt_seed,
+                              self._single.strategies)]
         return jobs
 
     def _new_resilience(self) -> ResilienceReport:

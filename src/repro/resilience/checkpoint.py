@@ -17,8 +17,11 @@ string and ``checkpoint_version`` (currently {version}) ahead of the
 state payload, so a reader can reject foreign or future files with a
 :class:`~repro.errors.CheckpointError` instead of a pickle traceback.
 Version history: version 1 predates runtime query-set swaps (no
-``_staged_queries``) and carries no ``extra`` payload; version-1 files
-are still readable — the staged query set defaults to None. The
+``_staged_queries``) and carries no ``extra`` payload; version 2
+predates per-relation execution strategies (no ``strategy_spec`` /
+``_strategy_state``). Older files are still readable — missing fields
+take their implied defaults (no staged query set, all-hash
+strategies with an empty shared-table state). The
 ``extra`` payload is an opaque caller dict: the multi-tenant
 :class:`~repro.service.StreamService` stores its query registry,
 tenant activation windows and admission configuration there so a
@@ -45,7 +48,7 @@ __all__ = ["CHECKPOINT_MAGIC", "CHECKPOINT_VERSION", "load_live_checkpoint",
            "read_checkpoint_document", "save_live_checkpoint"]
 
 CHECKPOINT_MAGIC = "repro-live-checkpoint"
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
 
 __doc__ = __doc__.format(version=CHECKPOINT_VERSION)
 
@@ -55,11 +58,31 @@ _STATE_ATTRS = (
     "epoch_seconds", "hfta", "eras", "epoch_reports", "reconfigurations",
     "_staged_plan", "_staged_queries", "_pending_cols", "_pending_vals",
     "_pending_times", "_pending_epoch", "_last_time", "records_seen",
+    "strategy_spec", "_strategy_state",
 )
 
 #: Fields added after version 1, with the value a version-1 snapshot
 #: implies (version 1 predates staged query-set swaps).
 _V1_DEFAULTS = {"_staged_queries": None}
+
+
+def _upgrade_state(state: dict, version: int) -> None:
+    """Fill state fields an older snapshot predates with the values it
+    implies, mutating ``state`` (and its eras) in place."""
+    if version < 2:
+        for name, default in _V1_DEFAULTS.items():
+            state.setdefault(name, default)
+    if version < 3:
+        # Version 2 predates per-relation strategies: everything ran the
+        # hash machine with no shared-table state.
+        from repro.gigascope.strategy import StrategyState
+
+        state.setdefault("strategy_spec", None)
+        state.setdefault("_strategy_state", StrategyState())
+        for era in state.get("eras", ()):
+            if not hasattr(era, "strategies"):
+                era.strategies = {rel: "hash"
+                                  for rel in era.configuration.relations}
 
 
 def save_live_checkpoint(system, path: str | Path,
@@ -113,14 +136,13 @@ def read_checkpoint_document(path: str | Path) -> dict:
         raise CheckpointError(
             f"{path} is not a live-stream checkpoint (bad magic)")
     version = document.get("checkpoint_version")
-    if version not in (1, CHECKPOINT_VERSION):
+    if not isinstance(version, int) or \
+            not 1 <= version <= CHECKPOINT_VERSION:
         raise CheckpointError(
             f"{path} has checkpoint_version {version!r}; this code "
             f"reads versions 1..{CHECKPOINT_VERSION}")
     state = document["state"]
-    if version == 1:
-        for name, default in _V1_DEFAULTS.items():
-            state.setdefault(name, default)
+    _upgrade_state(state, version)
     document.setdefault("extra", {})
     missing = [name for name in _STATE_ATTRS if name not in state]
     if missing:

@@ -1,0 +1,314 @@
+"""Differential equivalence of the per-relation execution strategies.
+
+The ``sort`` and ``shared`` strategies share the engine's accounting
+pass with the ``hash`` reference and only change the leaf emission data
+path, so they promise *bit-identical* answers **and** bit-identical cost
+counters (the direct-mapped machine is always simulated).  These tests
+pin that promise the way ``test_choosing_equivalence.py`` pins the
+chooser fast paths: hypothesis generates query sets, cardinalities and
+epoch boundaries, and every generated workload is run under all three
+strategies — on the serial engine and through the serial, process and
+pipeline shard executors — and compared field by field.
+
+The one legitimately strategy-dependent observable is
+``hfta.evictions_received`` (hash ships one partial per run, sort/shared
+one per group), so it is deliberately excluded from the comparisons.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocation import StrategyDecision, StrategyPlanner
+from repro.core.attributes import AttributeSet
+from repro.core.configuration import Configuration
+from repro.core.queries import QuerySet
+from repro.core.statistics import RelationStatistics
+from repro.errors import ConfigurationError
+from repro.gigascope import (
+    Dataset,
+    SharedGroupTable,
+    StrategyState,
+    StreamSchema,
+    simulate,
+)
+from repro.gigascope.strategy import resolve_strategies, strategy_code
+from repro.parallel import ShardedStreamSystem
+
+SCHEMA = StreamSchema(("A", "B", "C"), value_columns=("v",))
+
+#: Configurations whose leaves exercise single- and multi-attribute
+#: groups, fed leaves, and forests.  Non-hash strategies apply to leaves
+#: only; interior relations always stay on the hash eviction stream.
+CONFIGS = [
+    "AB",
+    "A B",
+    "AB BC",
+    "ABC(AB BC)",
+    "ABC(AB(A B) C)",
+]
+
+
+def _dataset(seed: int, n: int, domain: int, duration: float,
+             clustered: bool) -> Dataset:
+    rng = np.random.default_rng(seed)
+    if clustered:
+        n_runs = max(1, n // 5)
+        lengths = rng.integers(1, 10, n_runs)
+        cols = {name: np.repeat(rng.integers(0, domain, n_runs),
+                                lengths)[:n]
+                for name in SCHEMA.attributes}
+        n = len(next(iter(cols.values())))
+    else:
+        cols = {name: rng.integers(0, domain, n)
+                for name in SCHEMA.attributes}
+    return Dataset(SCHEMA, cols, np.sort(rng.uniform(0, duration, n)),
+                   {"v": rng.uniform(40, 1500, n)})
+
+
+workloads = st.fixed_dictionaries({
+    "notation": st.sampled_from(CONFIGS),
+    "seed": st.integers(0, 2**16),
+    "n": st.integers(50, 600),
+    "domain": st.integers(2, 6),
+    "duration": st.sampled_from([1.0, 4.0, 9.0]),
+    "epoch_seconds": st.sampled_from([0.7, 1.3, 2.5]),
+    "buckets": st.integers(2, 17),
+    "clustered": st.booleans(),
+    "values": st.booleans(),
+})
+
+
+def _run(workload, strategy):
+    config = Configuration.from_notation(workload["notation"])
+    dataset = _dataset(workload["seed"], workload["n"],
+                       workload["domain"], workload["duration"],
+                       workload["clustered"])
+    buckets = {rel: workload["buckets"] + 2 * i
+               for i, rel in enumerate(config.relations)}
+    return config, simulate(
+        dataset, config, buckets, workload["epoch_seconds"],
+        value_column="v" if workload["values"] else None,
+        strategies=strategy, strategy_state=StrategyState())
+
+
+def _answers(result, config):
+    return {
+        (leaf, epoch): result.hfta.totals(leaf, epoch)
+        for leaf in config.leaves
+        for epoch in result.hfta.epochs(leaf)
+    }
+
+
+class TestEngineDifferential:
+    @given(workload=workloads)
+    def test_sort_and_shared_match_hash(self, workload):
+        """Answers (including float sums) and every per-relation counter
+        are bit-identical across the three strategies."""
+        config, ref = _run(workload, None)
+        ref_answers = _answers(ref, config)
+        for strategy in ("sort", "shared"):
+            got_config, got = _run(workload, strategy)
+            assert got.counters.relations == ref.counters.relations, \
+                f"{strategy} counters diverged"
+            assert _answers(got, got_config) == ref_answers, \
+                f"{strategy} answers diverged"
+            assert got.n_records == ref.n_records
+            assert got.n_epochs == ref.n_epochs
+
+    @given(workload=workloads)
+    def test_shared_table_persists_across_epochs(self, workload):
+        """A shared table outlives epochs: its slot count equals the
+        relation's total distinct-group count, and re-running the same
+        stream through the same state adds no slots."""
+        config = Configuration.from_notation(workload["notation"])
+        dataset = _dataset(workload["seed"], workload["n"],
+                           workload["domain"], workload["duration"],
+                           workload["clustered"])
+        buckets = {rel: workload["buckets"]
+                   for rel in config.relations}
+        state = StrategyState()
+        simulate(dataset, config, buckets, workload["epoch_seconds"],
+                 strategies="shared", strategy_state=state)
+        sizes = {}
+        for leaf in config.leaves:
+            table = state.tables[leaf.label()]
+            distinct = {tuple(int(dataset.columns[a][i])
+                              for a in leaf.names)
+                        for i in range(len(dataset))}
+            assert len(table) == len(distinct)
+            sizes[leaf.label()] = len(table)
+        simulate(dataset, config, buckets, workload["epoch_seconds"],
+                 strategies="shared", strategy_state=state)
+        for label, size in sizes.items():
+            assert len(state.tables[label]) == size
+
+
+class TestExecutorDifferential:
+    @pytest.mark.parametrize("executor", ["serial", "process", "pipeline"])
+    @given(data=st.data())
+    @settings(max_examples=3, deadline=None)
+    def test_strategies_agree_across_executors(self, executor, data):
+        """On every shard executor, sort/shared answers and merged
+        counters equal the hash run's, example by example."""
+        seed = data.draw(st.integers(0, 2**16), label="seed")
+        domain = data.draw(st.integers(3, 6), label="domain")
+        epoch_seconds = data.draw(st.sampled_from([1.0, 2.5]),
+                                  label="epoch_seconds")
+        labels = data.draw(
+            st.sets(st.sampled_from(["A", "B", "AB", "BC", "AC"]),
+                    min_size=1, max_size=3),
+            label="queries")
+        queries = QuerySet.counts(sorted(labels),
+                                  epoch_seconds=epoch_seconds)
+        config = Configuration.flat([q.group_by for q in queries])
+        buckets = {rel: 5 for rel in config.relations}
+        dataset = _dataset(seed, 800, domain, 8.0, clustered=False)
+
+        reports = {}
+        for strategy in (None, "sort", "shared"):
+            system = ShardedStreamSystem(
+                dataset, queries, config, buckets, shards=2,
+                executor=executor, strategy=strategy)
+            reports[strategy] = system.run()
+        ref = reports[None]
+        for strategy in ("sort", "shared"):
+            got = reports[strategy]
+            for query in queries:
+                assert got.answers(query) == ref.answers(query)
+            assert got.result.counters.relations == \
+                ref.result.counters.relations
+            assert got.result.n_records == ref.result.n_records
+            assert got.result.n_epochs == ref.result.n_epochs
+
+
+class TestStrategyPlanner:
+    STATS = RelationStatistics.from_counts(
+        {"A": 40, "B": 100_000, "AB": 120_000, "BC": 20})
+
+    def test_decision_rule_covers_all_regimes(self):
+        config = Configuration.from_notation("A B AB BC")
+        planner = StrategyPlanner()
+        buckets = {rel: 1000 for rel in config.relations}
+        picks = {d.relation: d for d in
+                 planner.choose(config, self.STATS, buckets)}
+
+        def pick(label):
+            return picks[AttributeSet.parse(label)]
+
+        assert pick("A").strategy == "hash"        # g/b 0.04 <= 4
+        assert pick("AB").strategy == "sort"       # ratio 120 and huge g
+        assert pick("BC").strategy == "hash"       # ratio 0.02 <= 4
+        big_small_b = planner.choose(config, self.STATS,
+                                     {rel: 8 for rel in config.relations})
+        by_rel = {d.relation: d for d in big_small_b}
+        assert by_rel[AttributeSet.parse("A")].strategy == "shared"
+        assert by_rel[AttributeSet.parse("AB")].strategy == "sort"
+
+    def test_interior_relations_never_switch(self):
+        config = Configuration.from_notation("ABC(AB BC)")
+        stats = RelationStatistics.from_counts(
+            {"ABC": 100_000, "AB": 50_000, "BC": 40_000})
+        buckets = {rel: 4 for rel in config.relations}
+        picks = {d.relation: d for d in
+                 StrategyPlanner().choose(config, stats, buckets)}
+        interior = AttributeSet.parse("ABC")
+        assert picks[interior].strategy == "hash"
+        assert "interior" in picks[interior].reason
+
+    def test_missing_stats_default_to_hash(self):
+        config = Configuration.from_notation("AB")
+        stats = RelationStatistics.from_counts({"C": 10})
+        rel = next(iter(config.relations))
+        decision = StrategyPlanner().choose(config, stats, {rel: 8})[0]
+        assert decision.strategy == "hash"
+        assert "no group-count statistics" in decision.reason
+
+    def test_decisions_serialize(self):
+        config = Configuration.from_notation("AB")
+        rel = next(iter(config.relations))
+        decision = StrategyPlanner().choose(
+            config, RelationStatistics.from_counts({"AB": 64}),
+            {rel: 8})[0]
+        assert isinstance(decision, StrategyDecision)
+        assert decision.ratio == pytest.approx(8.0)
+        as_dict = decision.to_dict()
+        assert as_dict["relation"] == "AB"
+        assert as_dict["strategy"] == decision.strategy
+        strategies = StrategyPlanner().strategies(
+            config, RelationStatistics.from_counts({"AB": 64}), {rel: 8})
+        assert strategies == {rel: decision.strategy}
+
+
+class TestResolveStrategies:
+    CONFIG = Configuration.from_notation("ABC(AB BC)")
+
+    def test_none_is_all_hash(self):
+        resolved = resolve_strategies(self.CONFIG, None)
+        assert set(resolved.values()) == {"hash"}
+
+    def test_blanket_name_hits_leaves_only(self):
+        resolved = resolve_strategies(self.CONFIG, "sort")
+        for rel, name in resolved.items():
+            expected = "sort" if self.CONFIG.is_leaf(rel) else "hash"
+            assert name == expected
+
+    def test_unknown_relation_names_the_relation(self):
+        with pytest.raises(ConfigurationError, match="'ZZ'"):
+            resolve_strategies(self.CONFIG, {"ZZ": "sort"})
+
+    def test_unknown_relation_skipped_when_lenient(self):
+        resolved = resolve_strategies(self.CONFIG, {"ZZ": "sort"},
+                                      strict=False)
+        assert set(resolved.values()) == {"hash"}
+
+    def test_interior_relation_rejected(self):
+        with pytest.raises(ConfigurationError, match="ABC"):
+            resolve_strategies(self.CONFIG, {"ABC": "shared"})
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError, match="turbo"):
+            resolve_strategies(self.CONFIG, {"AB": "turbo"})
+
+    def test_codes_are_stable(self):
+        assert [strategy_code(s) for s in ("hash", "sort", "shared")] == \
+            [0, 1, 2]
+
+
+class TestSharedGroupTable:
+    def test_slots_are_deterministic_and_reused(self):
+        table = SharedGroupTable(("A", "B"))
+        cols = [np.array([1, 2, 1, 3]), np.array([7, 8, 7, 9])]
+        digests = np.array([11, 22, 11, 33], dtype=np.uint64)
+        first = table.assign(digests, cols)
+        again = table.assign(digests, cols)
+        assert first.tolist() == [0, 1, 0, 2]
+        assert again.tolist() == first.tolist()
+        assert len(table) == 3
+        assert table.fast_hits == 4  # the whole second batch
+
+    def test_digest_collision_falls_back_to_exact_dict(self):
+        """Two distinct groups sharing a digest must stay distinct: the
+        column verification rejects the fast path and the dict assigns a
+        separate slot, forever."""
+        table = SharedGroupTable(("A",))
+        same = np.array([99, 99], dtype=np.uint64)
+        slots = table.assign(same, [np.array([1, 2])])
+        assert slots.tolist() == [0, 1]
+        assert table.digest_collisions == 1
+        # Re-resolving both rows keeps them apart; the collided group is
+        # resolved by the dict path every time (exactness over speed).
+        again = table.assign(same, [np.array([2, 1])])
+        assert again.tolist() == [1, 0]
+        assert len(table) == 2
+
+    def test_stats_roll_up_through_state(self):
+        state = StrategyState()
+        table = state.table("AB", ("A", "B"))
+        table.assign(np.array([5], dtype=np.uint64),
+                     [np.array([1]), np.array([2])])
+        assert state.table("AB", ("A", "B")) is table
+        stats = state.stats()
+        assert stats["tables"] == 1
+        assert stats["slots"] == 1
+        assert stats["dict_resolutions"] == 1

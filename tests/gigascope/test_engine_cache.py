@@ -118,3 +118,62 @@ class TestCacheTransparency:
                  hash_cache=cache)
         assert cache.misses == misses_first
         assert cache.hits == misses_first
+
+
+class TestCacheStrategyInteraction:
+    """The cache stores pack codes and chain digests — quantities every
+    strategy computes identically — so one cache instance must serve
+    hash, sort and shared runs interchangeably."""
+
+    CONFIG = CONFIGS[2]  # flat AB CD: raw relations are the leaves
+
+    def test_cache_is_strategy_invariant(self):
+        """Each strategy's cached run equals its uncached twin, with the
+        cache warmed by a *different* strategy's run."""
+        from repro.gigascope import StrategyState
+
+        data = _dataset(17, 3000)
+        buckets = _buckets(self.CONFIG, 6)
+        cache = HashCache()
+        simulate(data, self.CONFIG, buckets, epoch_seconds=2.5,
+                 hash_cache=cache)  # warm with the hash reference
+        warm_misses = cache.misses
+        for strategy in ("hash", "sort", "shared"):
+            plain = simulate(data, self.CONFIG, buckets, epoch_seconds=2.5,
+                             strategies=strategy,
+                             strategy_state=StrategyState())
+            cached = simulate(data, self.CONFIG, buckets, epoch_seconds=2.5,
+                              strategies=strategy,
+                              strategy_state=StrategyState(),
+                              hash_cache=cache)
+            assert _counters_key(plain) == _counters_key(cached)
+            assert _hfta_key(plain, self.CONFIG) == \
+                _hfta_key(cached, self.CONFIG)
+        assert cache.misses == warm_misses  # every later run pure hits
+        assert cache.hits > 0
+
+    def test_strategy_flip_between_sweeps_reuses_no_stale_digests(self):
+        """Regression: a relation flipping strategy between sweep points
+        must not resurrect the previous strategy's emission through the
+        cache — cached digests are emission-independent, so the flipped
+        run still matches its uncached twin exactly."""
+        from repro.gigascope import StrategyState
+
+        data = _dataset(23, 2500)
+        cache = HashCache()
+        flips = [("hash", 50), ("sort", 50), ("shared", 75),
+                 ("sort", 75), ("hash", 75)]
+        for strategy, base in flips:
+            buckets = _buckets(self.CONFIG, base)
+            cached = simulate(data, self.CONFIG, buckets,
+                              epoch_seconds=2.5, strategies=strategy,
+                              strategy_state=StrategyState(),
+                              hash_cache=cache)
+            plain = simulate(data, self.CONFIG, buckets,
+                             epoch_seconds=2.5, strategies=strategy,
+                             strategy_state=StrategyState())
+            assert _counters_key(plain) == _counters_key(cached), \
+                f"stale counters after flip to {strategy}/{base}"
+            assert _hfta_key(plain, self.CONFIG) == \
+                _hfta_key(cached, self.CONFIG), \
+                f"stale answers after flip to {strategy}/{base}"

@@ -290,3 +290,34 @@ class TestStagedReconfiguration:
         push_slice(restored, live_dataset, 1000, len(live_dataset))
         restored.finish()
         assert len(restored.epoch_reports) == 5
+
+    def test_version2_checkpoint_restores_as_all_hash(
+            self, live_dataset, live_queries, live_plan, tmp_path):
+        """Pre-strategy snapshots (version 2) predate ``strategy_spec``,
+        shared-table state and per-era strategies; restoring one implies
+        the hash-everywhere era and finishes identically to the
+        uninterrupted hash run."""
+        live = LiveStreamSystem(SCHEMA, live_queries, live_plan)
+        push_slice(live, live_dataset, 0, 1000)
+        path = tmp_path / "v2.ckpt"
+        live.checkpoint(path)
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+        payload["checkpoint_version"] = 2
+        del payload["state"]["strategy_spec"]
+        del payload["state"]["_strategy_state"]
+        for era in payload["state"]["eras"]:
+            del era.strategies
+        with path.open("wb") as handle:
+            pickle.dump(payload, handle)
+
+        restored = LiveStreamSystem.restore(path)
+        assert restored.strategy_spec is None
+        assert restored._strategy_state.stats()["tables"] == 0
+        for era in restored.eras:
+            assert set(era.strategies.values()) == {"hash"}
+        push_slice(restored, live_dataset, 1000, len(live_dataset))
+        restored.finish()
+        oracle = run_uninterrupted(live_dataset, live_queries, live_plan)
+        for query in live_queries:
+            assert restored.answers(query) == oracle.answers(query)
