@@ -18,6 +18,15 @@ Measured cases:
   oracle on the paper workload.
 * ``engine_sweep_*`` — a 4-point bucket-count sweep of the vectorized
   engine over a synthetic stream, with and without a ``HashCache``.
+  These cases pin ``native=False`` so they keep timing the pure numpy
+  reference path from PR to PR.
+* ``engine_native`` (its own top-level section) — the same sweep through
+  the fused C ingest kernel (:mod:`repro.native.ingest`), uncached and
+  against a warm ``HashCache``, with speedups over
+  ``engine_sweep_uncached`` and the kernel's build diagnostics. The
+  section is equivalence-gated: the kernel's counters and per-epoch HFTA
+  totals must be bit-identical to the numpy sweep at every point, or the
+  suite exits non-zero.
 * ``strategy`` (its own top-level section) — the hash/sort/shared
   crossover curve: three (g, b, epochs) regimes, each timed two ways
   under all three strategies — the engine pass alone (the LFTA-side
@@ -36,8 +45,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -54,6 +61,7 @@ from repro.core.queries import QuerySet
 from repro.core.statistics import RelationStatistics
 from repro.gigascope import (Dataset, HashCache, StrategyState, StreamSchema,
                              simulate)
+from repro.native import machine_info
 from repro.observability import MetricsRegistry, RunManifest
 from repro.observability.manifest import current_git_sha
 from repro.workloads import paper_synthetic_dataset
@@ -215,7 +223,13 @@ def _planner_cases(reps: int, cases: dict, checks: list) -> None:
 
 
 def _engine_cases(records: int, reps: int, cases: dict,
-                  checks: list) -> None:
+                  checks: list) -> dict:
+    """Time the numpy engine sweep, then the native kernel sweep.
+
+    Returns the ``engine_native`` section of the JSON document. The
+    numpy cases pin ``native=False`` so ``engine_sweep_uncached`` stays
+    the stable reference the kernel's speedup is judged against.
+    """
     dataset = paper_synthetic_dataset(n_records=records, seed=11)
     bases = (500, 600, 700, 800)
 
@@ -223,11 +237,12 @@ def _engine_cases(records: int, reps: int, cases: dict,
         return {rel: base + 37 * i
                 for i, rel in enumerate(ENGINE_CONFIG.relations)}
 
-    def sweep(cache=None):
+    def sweep(cache=None, native=False):
         results = []
         for base in bases:
             results.append(simulate(dataset, ENGINE_CONFIG, buckets(base),
-                                    epoch_seconds=5.0, hash_cache=cache))
+                                    epoch_seconds=5.0, hash_cache=cache,
+                                    native=native))
         return results
 
     plain_s, plain_results = _time_case(sweep, reps)
@@ -239,18 +254,57 @@ def _engine_cases(records: int, reps: int, cases: dict,
     cases["engine_sweep_uncached"] = {
         "seconds": plain_s,
         "records_per_sec": per_point / plain_s,
-        "meta": {"records": records, "sweep_points": len(bases)}}
+        "meta": {"records": records, "sweep_points": len(bases),
+                 "native": False}}
     cases["engine_sweep_hash_cached"] = {
         "seconds": cached_s,
         "records_per_sec": per_point / cached_s,
         "meta": {"speedup_vs_uncached": plain_s / cached_s,
                  "cache_hits": warm_cache.hits,
-                 "cache_misses": warm_cache.misses}}
-    ok = all(
-        _engine_outputs(a, ENGINE_CONFIG) == _engine_outputs(b,
-                                                             ENGINE_CONFIG)
-        for a, b in zip(plain_results, cached_results))
+                 "cache_misses": warm_cache.misses,
+                 "native": False}}
+    reference = [_engine_outputs(r, ENGINE_CONFIG) for r in plain_results]
+    ok = all(reference[i] == _engine_outputs(r, ENGINE_CONFIG)
+             for i, r in enumerate(cached_results))
     checks.append({"name": "engine_hash_cache_parity", "ok": ok})
+
+    from repro.native import ingest as native_ingest
+    from repro.native.build import kernel_status
+
+    available = native_ingest.kernel_available()
+    status = kernel_status(native_ingest.KERNEL_NAME)
+    section = {
+        "available": available,
+        "kernel": status.to_dict() if status is not None else None,
+    }
+    if not available:
+        section["skipped"] = "no C compiler available (or REPRO_NO_CKERNEL)"
+        return section
+
+    native_s, native_results = _time_case(lambda: sweep(native=True), reps)
+    native_cache = HashCache()
+    sweep(native_cache, native=True)
+    native_cached_s, native_cached_results = _time_case(
+        lambda: sweep(native_cache, native=True), reps)
+    checks.append({
+        "name": "engine_native_equals_numpy",
+        "ok": all(reference[i] == _engine_outputs(r, ENGINE_CONFIG)
+                  for i, r in enumerate(native_results))})
+    checks.append({
+        "name": "engine_native_cached_equals_numpy",
+        "ok": all(reference[i] == _engine_outputs(r, ENGINE_CONFIG)
+                  for i, r in enumerate(native_cached_results))})
+    section["uncached"] = {
+        "seconds": native_s,
+        "records_per_sec": per_point / native_s,
+        "speedup_vs_numpy": plain_s / native_s}
+    section["hash_cached"] = {
+        "seconds": native_cached_s,
+        "records_per_sec": per_point / native_cached_s,
+        "speedup_vs_numpy": plain_s / native_cached_s,
+        "cache_hits": native_cache.hits,
+        "cache_misses": native_cache.misses}
+    return section
 
 
 #: The crossover regimes: (name, groups, buckets, epochs, metric, drift).
@@ -331,10 +385,13 @@ def _strategy_cases(records: int, reps: int, checks: list) -> dict:
             + dataset.columns["B"]).size)
 
         def engine_pass(strategy):
+            # native=False: the crossover regimes (and their documented
+            # winners) price the numpy path the cost model was fit to.
             return simulate(dataset, config, {rel: buckets},
                             epoch_seconds=5.0,
                             strategies=strategy,
-                            strategy_state=StrategyState())
+                            strategy_state=StrategyState(),
+                            native=False)
 
         def answer_pass(strategy):
             result = engine_pass(strategy)
@@ -393,8 +450,8 @@ def main(argv: list[str] | None = None) -> int:
 
     print("timing planner cases...")
     _planner_cases(args.reps, cases, checks)
-    print("timing engine sweep...")
-    _engine_cases(args.records, args.reps, cases, checks)
+    print("timing engine sweep (numpy + native kernel)...")
+    engine_native = _engine_cases(args.records, args.reps, cases, checks)
     print("timing strategy crossover...")
     strategy = _strategy_cases(args.records, args.reps, checks)
 
@@ -411,16 +468,11 @@ def main(argv: list[str] | None = None) -> int:
         "schema": SCHEMA,
         "created_unix": time.time(),
         "git_sha": current_git_sha(),
-        "machine": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "numpy": np.__version__,
-            "c_kernel": _ckernel.kernel_available(),
-        },
+        "machine": machine_info(),
         "settings": {"records": args.records, "reps": args.reps,
                      "quick": args.quick},
         "cases": cases,
+        "engine_native": engine_native,
         "strategy": strategy,
         "equivalence": {"ok": all_ok, "checks": checks},
     }
@@ -437,6 +489,16 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(f"{name:>32}: {case['seconds']:.3f} s "
                   f"({case['records_per_sec'] / 1e6:.2f}M rec/s)")
+    if engine_native.get("available"):
+        for label in ("uncached", "hash_cached"):
+            point = engine_native[label]
+            print(f"{'engine_native_' + label:>32}: "
+                  f"{point['seconds']:.3f} s "
+                  f"({point['records_per_sec'] / 1e6:.2f}M rec/s, "
+                  f"{point['speedup_vs_numpy']:.2f}x vs numpy)")
+    else:
+        print(f"{'engine_native':>32}: skipped "
+              f"({engine_native.get('skipped')})")
     for point in strategy["crossover"]:
         key = f"{point['metric']}_seconds"
         timing = " ".join(f"{s}={point[key][s] * 1e3:.1f}ms"

@@ -112,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", action="store_true",
                         help="print the recorded phase spans after "
                              "execution; implies --execute")
+    parser.add_argument("--no-native", action="store_true",
+                        help="pin the pure numpy engine path (skip the "
+                             "runtime-compiled C ingest kernel); results "
+                             "are bit-identical either way")
     return parser
 
 
@@ -188,7 +192,7 @@ _CHECKPOINT_BATCHES = 16
 
 def _execute_checkpointed(dataset, queries, the_plan, params, value_column,
                           where, registry, checkpoint_dir,
-                          strategy=None) -> LiveStreamSystem:
+                          strategy=None, native=True) -> LiveStreamSystem:
     """Stream through the live runtime, snapshotting as we go.
 
     Resumes from ``checkpoint_dir/live.ckpt`` when one exists: the
@@ -206,7 +210,7 @@ def _execute_checkpointed(dataset, queries, the_plan, params, value_column,
         live = LiveStreamSystem(dataset.schema, queries, the_plan,
                                 params=params, value_column=value_column,
                                 where=where, registry=registry,
-                                strategy=strategy)
+                                strategy=strategy, native=native)
     start = live.records_seen
     n = len(dataset)
     step = max(1, (n + _CHECKPOINT_BATCHES - 1) // _CHECKPOINT_BATCHES)
@@ -295,7 +299,7 @@ def main(argv: list[str] | None = None) -> int:
                 live = _execute_checkpointed(
                     dataset, queries, the_plan, params, value_column,
                     where, registry, args.checkpoint_dir,
-                    strategy=strategy)
+                    strategy=strategy, native=not args.no_native)
             elif args.shards > 1:
                 partitioner = make_partitioner(
                     args.partition, column=args.partition_column)
@@ -307,14 +311,16 @@ def main(argv: list[str] | None = None) -> int:
                     shards=args.shards, partitioner=partitioner,
                     executor=args.shard_executor, registry=registry,
                     retry=RetryPolicy(max_attempts=args.max_retries + 1),
-                    fault_plan=fault_plan, strategy=strategy)
+                    fault_plan=fault_plan, strategy=strategy,
+                    native=not args.no_native)
                 report = system.run()
             else:
                 system = StreamSystem.from_plan(dataset, queries, the_plan,
                                                 params=params,
                                                 value_column=value_column,
                                                 where=where,
-                                                strategy=strategy)
+                                                strategy=strategy,
+                                                native=not args.no_native)
                 report = system.run(registry=registry)
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)

@@ -17,23 +17,22 @@ and the kernel's output is bitwise equal to the interpreter's.
 
 The kernel is best-effort: if no C compiler is present (or
 ``REPRO_NO_CKERNEL`` is set) :func:`kernel_available` returns False and the
-allocator falls back to the batched numpy path. Compiled objects are cached
-in the system temp directory keyed by a hash of the source and flags.
+allocator falls back to the batched numpy path. Compilation, the on-disk
+cache, the opt-out, and failure diagnostics are all owned by the shared
+:mod:`repro.native.build` machinery.
 """
 
 from __future__ import annotations
 
 import ctypes
-import hashlib
-import os
-import shutil
-import subprocess
-import tempfile
-from pathlib import Path
 
 import numpy as np
 
+from repro.native.build import load_kernel
+
 __all__ = ["descend", "kernel_available"]
+
+KERNEL_NAME = "es_descend"
 
 _SOURCE = r"""
 #include <stdint.h>
@@ -117,51 +116,8 @@ double repro_descend(double *spaces, int64_t n, const double *floors,
 }
 """
 
-_FLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math"]
-
 _lib: ctypes.CDLL | None = None
 _tried = False
-
-
-def _compiler() -> str | None:
-    for name in ("cc", "gcc", "clang"):
-        path = shutil.which(name)
-        if path:
-            return path
-    return None
-
-
-def _build_and_load() -> ctypes.CDLL | None:
-    compiler = _compiler()
-    if compiler is None:
-        return None
-    digest = hashlib.sha256(
-        (_SOURCE + " ".join(_FLAGS)).encode()).hexdigest()[:16]
-    uid = getattr(os, "getuid", lambda: 0)()
-    cache = Path(tempfile.gettempdir()) / f"repro_es_kernel_{digest}_{uid}.so"
-    if not cache.exists():
-        with tempfile.TemporaryDirectory() as build:
-            src = Path(build) / "kernel.c"
-            out = Path(build) / "kernel.so"
-            src.write_text(_SOURCE)
-            result = subprocess.run(
-                [compiler, *_FLAGS, "-o", str(out), str(src)],
-                capture_output=True, timeout=60.0)
-            if result.returncode != 0 or not out.exists():
-                return None
-            # Atomic publish so concurrent processes race safely.
-            os.replace(out, cache)
-    lib = ctypes.CDLL(str(cache))
-    dp = ctypes.POINTER(ctypes.c_double)
-    ip = ctypes.POINTER(ctypes.c_int64)
-    up = ctypes.POINTER(ctypes.c_uint8)
-    lib.repro_descend.restype = ctypes.c_double
-    lib.repro_descend.argtypes = [
-        dp, ctypes.c_int64, dp, dp, dp, dp, ip, up,
-        ctypes.c_double, ctypes.c_double, dp, ctypes.c_int64,
-        ctypes.c_double, ctypes.c_double, ctypes.c_double, dp, dp,
-    ]
-    return lib
 
 
 def kernel_available() -> bool:
@@ -169,11 +125,18 @@ def kernel_available() -> bool:
     global _lib, _tried
     if not _tried:
         _tried = True
-        if not os.environ.get("REPRO_NO_CKERNEL"):
-            try:
-                _lib = _build_and_load()
-            except Exception:
-                _lib = None
+        lib = load_kernel(KERNEL_NAME, _SOURCE)
+        if lib is not None:
+            dp = ctypes.POINTER(ctypes.c_double)
+            ip = ctypes.POINTER(ctypes.c_int64)
+            up = ctypes.POINTER(ctypes.c_uint8)
+            lib.repro_descend.restype = ctypes.c_double
+            lib.repro_descend.argtypes = [
+                dp, ctypes.c_int64, dp, dp, dp, dp, ip, up,
+                ctypes.c_double, ctypes.c_double, dp, ctypes.c_int64,
+                ctypes.c_double, ctypes.c_double, ctypes.c_double, dp, dp,
+            ]
+            _lib = lib
     return _lib is not None
 
 

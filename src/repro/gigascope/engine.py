@@ -17,6 +17,13 @@ times ``[0, n)``; the flush of a depth-``d`` relation occupies the window
 ``n + d * stride + bucket`` with ``stride > n`` large enough that windows
 never overlap, reproducing the top-down bucket-scan flush of the sequential
 reference exactly (tests assert counter-for-counter equality).
+
+When the host offers a C compiler, steps 1-3 run instead as one fused
+native pass (:mod:`repro.native.ingest`) that simulates the direct-mapped
+table record-at-a-time in C — pack, hash, probe, collision detect, and
+eviction emission in a single loop — with bit-identical runs, counters,
+and float partials. ``native=False`` or ``REPRO_NO_CKERNEL=1`` pins the
+numpy path; both paths are differentially tested against each other.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from repro.gigascope.strategy import (
     StrategyState,
     resolve_strategies,
 )
+from repro.native import ingest as _native
 from repro.observability.tracing import trace
 
 __all__ = ["simulate"]
@@ -61,7 +69,8 @@ def simulate(dataset: Dataset, config: Configuration,
              registry=None,
              hash_cache: HashCache | None = None,
              strategies: str | dict | None = None,
-             strategy_state: StrategyState | None = None
+             strategy_state: StrategyState | None = None,
+             native: bool = True,
              ) -> SimulationResult:
     """Stream a dataset through a configuration; return counters + HFTA.
 
@@ -87,6 +96,12 @@ def simulate(dataset: Dataset, config: Configuration,
     bit-identical. ``strategy_state`` carries the ``shared`` strategy's
     persistent tables across calls (the incremental runtime passes one
     per system); a fresh state is created per call when omitted.
+
+    ``native`` (default True) lets the accounting pass run through the
+    fused C ingest kernel (:mod:`repro.native.ingest`) when one could be
+    compiled; results are bit-identical either way, so this is purely a
+    speed knob. Pass ``native=False`` — or set ``REPRO_NO_CKERNEL=1`` —
+    to pin the numpy path.
     """
     table_sizes: dict[AttributeSet, int] = {}
     for rel in config.relations:
@@ -111,7 +126,7 @@ def simulate(dataset: Dataset, config: Configuration,
             _simulate_epoch(dataset, config, table_sizes, salts, depths,
                             max_b, counters, hfta, epoch_id, start, end,
                             value_column, hash_cache, resolved,
-                            strategy_state)
+                            strategy_state, native)
     if registry is not None:
         registry.counter("engine.records").inc(len(dataset))
         registry.counter("engine.epochs").inc(n_epochs)
@@ -127,7 +142,8 @@ def _simulate_epoch(dataset: Dataset, config: Configuration,
                     value_column: str | None,
                     hash_cache: HashCache | None = None,
                     strategies: dict[AttributeSet, str] | None = None,
-                    strategy_state: StrategyState | None = None) -> None:
+                    strategy_state: StrategyState | None = None,
+                    native: bool = True) -> None:
     n = end - start
     stride = np.int64(n + max_b + 2)
     times0 = np.arange(n, dtype=np.int64)
@@ -157,7 +173,7 @@ def _simulate_epoch(dataset: Dataset, config: Configuration,
             rel, t, w, vs, vmin, vmax, cols, n, stride, table_sizes[rel],
             salts[rel], depths[rel], counters,
             times_sorted=rel in raw, hashed=hashed,
-            strategy=strategy, table=table)
+            strategy=strategy, table=table, native=native)
         if evicted is None:
             continue
         ev_t, ev_w, ev_vs, ev_vmin, ev_vmax, ev_cols = evicted
@@ -186,27 +202,53 @@ def _process_relation(rel: AttributeSet, t: np.ndarray, w: np.ndarray,
                       hashed: tuple[np.ndarray, np.ndarray] | None = None,
                       strategy: str = "hash",
                       table: SharedGroupTable | None = None,
+                      native: bool = True,
                       ) -> _Arrivals | None:
     c = counters.counters(rel)
     m = int(t.shape[0])
     if m == 0:
         return None
-    intra = int(np.count_nonzero(t < n))
-    c.arrivals_intra += intra
-    c.arrivals_flush += m - intra
 
-    digests = None
+    key = digests = None
     if hashed is not None:
         key, digests = hashed
-        bkt = (digests % np.uint64(n_buckets)).astype(np.int64)
     elif strategy == "shared":
         # The shared table reuses the bucket chain digests as its index,
         # so compute them explicitly instead of through bucket_indices.
-        key = pack_tuples([cols[a] for a in rel.names])
         digests = combine_columns([cols[a] for a in rel.names], salt)
+
+    flush_base = np.int64(n) + np.int64(depth) * stride
+    if native and _native.kernel_available():
+        fused = _accounting_native(rel, t, w, vs, vmin, vmax, cols, key,
+                                   digests, n, n_buckets, salt,
+                                   int(flush_base), times_sorted)
+        if fused is not None:
+            (rep, run_w, run_vs, run_vmin, run_vmax, evict_t,
+             intra, ev_intra) = fused
+            c.arrivals_intra += intra
+            c.arrivals_flush += m - intra
+            n_runs = int(rep.shape[0])
+            c.evictions_intra += ev_intra
+            c.evictions_flush += n_runs - ev_intra
+            if strategy == "sort":
+                run_keys = (key[rep] if key is not None else
+                            pack_tuples([cols[a][rep] for a in rel.names]))
+                return _emit_sorted(rel, run_keys, run_w, run_vs, run_vmin,
+                                    run_vmax, rep, cols)
+            if strategy == "shared":
+                return _emit_shared(rel, table, digests, run_w, run_vs,
+                                    run_vmin, run_vmax, rep, cols)
+            ev_cols = {a: cols[a][rep] for a in rel.names}
+            return evict_t, run_w, run_vs, run_vmin, run_vmax, ev_cols
+
+    intra = int(np.count_nonzero(t < n))
+    c.arrivals_intra += intra
+    c.arrivals_flush += m - intra
+    if key is None:
+        key = pack_tuples([cols[a] for a in rel.names])
+    if digests is not None:
         bkt = (digests % np.uint64(n_buckets)).astype(np.int64)
     else:
-        key = pack_tuples([cols[a] for a in rel.names])
         bkt = bucket_indices([cols[a] for a in rel.names], salt, n_buckets)
     if times_sorted:
         # t is already ascending (raw streams arrive in time order), so a
@@ -247,7 +289,6 @@ def _process_relation(rel: AttributeSet, t: np.ndarray, w: np.ndarray,
         collided = ~new_bucket[nxt]
         flush_mask[:-1] = ~collided
         evict_t[:-1][collided] = st[nxt[collided]]
-    flush_base = np.int64(n) + np.int64(depth) * stride
     evict_t[flush_mask] = flush_base + sb[run_start[flush_mask]]
 
     ev_intra = int(np.count_nonzero(evict_t < n))
@@ -262,7 +303,7 @@ def _process_relation(rel: AttributeSet, t: np.ndarray, w: np.ndarray,
     # HFTA's own merge folds the hash path's per-run batch — so value
     # sums are bit-identical, not merely numerically close.
     if strategy == "sort":
-        return _emit_sorted(rel, sk, run_start, run_w, run_vs, run_vmin,
+        return _emit_sorted(rel, sk[run_start], run_w, run_vs, run_vmin,
                             run_vmax, rep, cols)
     if strategy == "shared":
         return _emit_shared(rel, table, digests, run_w, run_vs, run_vmin,
@@ -271,18 +312,83 @@ def _process_relation(rel: AttributeSet, t: np.ndarray, w: np.ndarray,
     return evict_t, run_w, run_vs, run_vmin, run_vmax, ev_cols
 
 
-def _emit_sorted(rel: AttributeSet, sk: np.ndarray, run_start: np.ndarray,
+def _accounting_native(rel: AttributeSet, t: np.ndarray, w: np.ndarray,
+                       vs: np.ndarray | None, vmin: np.ndarray | None,
+                       vmax: np.ndarray | None, cols: dict[str, np.ndarray],
+                       key: np.ndarray | None, digests: np.ndarray | None,
+                       n: int, n_buckets: int, salt: int, flush_base: int,
+                       times_sorted: bool):
+    """Run the accounting pass through the fused C kernel, or None.
+
+    Returns ``(rep, run_w, run_vs, run_vmin, run_vmax, evict_t,
+    arrivals_intra, evictions_intra)`` with ``rep`` indexing the original
+    (unsorted) arrival arrays, or None when the inputs fall outside the
+    kernel's contract (non-integer group columns, non-float64 values, a
+    table vastly larger than the batch) — the caller then takes the numpy
+    path, which computes the identical result.
+    """
+    m = int(t.shape[0])
+    # The kernel's table scan is O(n_buckets); beyond any sane
+    # buckets-per-record ratio the numpy path's O(m log m) wins anyway.
+    if n_buckets > 8 * m + 1024:
+        return None
+    if vs is not None and (vs.dtype != np.float64
+                           or vmin is None or vmin.dtype != np.float64
+                           or vmax is None or vmax.dtype != np.float64):
+        return None
+    if key is not None:
+        # Cached pack codes are collision-free group ids: one equality
+        # column replaces the raw attribute comparison.
+        eq_cols = [key]
+    else:
+        eq_cols = []
+        for a in rel.names:
+            col = cols[a]
+            if col.dtype == np.int64:
+                # Same bits the chain hashes: int64 -> uint64 is a view.
+                eq_cols.append(col.view(np.uint64))
+            elif col.dtype == np.uint64:
+                eq_cols.append(col)
+            elif col.dtype.kind in "iub":
+                eq_cols.append(col.astype(np.uint64))
+            else:
+                return None
+    order = None
+    if not times_sorted:
+        # The kernel consumes arrivals in time order; fed streams arrive
+        # in the parent's emission order instead. Times are distinct
+        # within a relation, so a plain argsort is deterministic.
+        order = np.argsort(t)
+        eq_cols = [col[order] for col in eq_cols]
+        t = t[order]
+        w = w[order]
+        if digests is not None:
+            digests = digests[order]
+        if vs is not None:
+            vs, vmin, vmax = vs[order], vmin[order], vmax[order]
+    out = _native.ingest_runs(eq_cols, digests, salt, t, w, vs, vmin, vmax,
+                              n, n_buckets, flush_base)
+    if order is not None:
+        rep = order[out[0]]
+        return (rep, *out[1:])
+    return out
+
+
+def _emit_sorted(rel: AttributeSet, run_keys: np.ndarray,
                  run_w: np.ndarray, run_vs: np.ndarray | None,
                  run_vmin: np.ndarray | None, run_vmax: np.ndarray | None,
                  rep: np.ndarray, cols: dict[str, np.ndarray]
                  ) -> _Arrivals:
     """Sort-aggregate emission: one merged partial per group per epoch.
 
-    The runs are already sorted by (bucket, time); grouping their packed
-    keys reduces the epoch's ``r`` run partials to ``g`` group partials
-    before the HFTA ever sees them — the win when collisions make
-    ``r >> g``."""
-    _, first, inverse = np.unique(sk[run_start], return_index=True,
+    ``run_keys`` holds one collision-free group code per run, in run
+    order; grouping them reduces the epoch's ``r`` run partials to ``g``
+    group partials before the HFTA ever sees them — the win when
+    collisions make ``r >> g``. The codes only need to be
+    order-isomorphic to the group tuples (``pack_tuples`` codes are
+    lexicographic), so the numpy and native callers' differently-scoped
+    factorizations yield identical groupings and fold orders."""
+    _, first, inverse = np.unique(run_keys, return_index=True,
                                   return_inverse=True)
     g = int(first.shape[0])
     g_w = np.bincount(inverse, weights=run_w, minlength=g).astype(np.int64)

@@ -88,17 +88,25 @@ class _Era:
 class LiveStreamSystem:
     """A two-level stream system fed incrementally."""
 
+    #: Class-level default so checkpoint-restored instances (which carry
+    #: only the serialized state attributes) fall back to the native
+    #: engine path. Like ``controller``/``registry``, the flag is not
+    #: checkpointed — it cannot affect answers, only speed.
+    native = True
+
     def __init__(self, schema: StreamSchema, queries: QuerySet,
                  plan: Plan, params: CostParameters | None = None,
                  value_column: str | None = None,
                  controller=None, salt_seed: int = 0,
-                 where=None, registry=None, strategy=None):
+                 where=None, registry=None, strategy=None,
+                 native: bool = True):
         self.schema = schema
         self.queries = queries
         self.params = params or CostParameters()
         self.value_column = value_column
         self.controller = controller
         self.salt_seed = salt_seed
+        self.native = native
         self.where = where
         self.registry = registry
         self.epoch_seconds = queries.epoch_seconds
@@ -286,7 +294,8 @@ class LiveStreamSystem:
                      self.epoch_seconds, self.value_column, self.salt_seed,
                      counters=era.counters, hfta=self.hfta,
                      registry=self.registry, strategies=era.strategies,
-                     strategy_state=self._strategy_state)
+                     strategy_state=self._strategy_state,
+                     native=self.native)
         report = EpochReport(
             epoch, len(dataset), era.configuration,
             era.counters.measured_intra_cost(self.params).total

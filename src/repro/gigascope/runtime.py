@@ -94,7 +94,8 @@ class StreamSystem:
                  engine: str = "vectorized",
                  salt_seed: int = 0,
                  where=None,
-                 strategy=None):
+                 strategy=None,
+                 native: bool = True):
         if where is not None:
             from repro.gigascope.filters import filter_dataset
             dataset = filter_dataset(dataset, where)
@@ -144,6 +145,10 @@ class StreamSystem:
         self.value_column = value_column
         self.engine = engine
         self.salt_seed = salt_seed
+        #: Speed knob only: the fused C ingest kernel and the numpy path
+        #: are bit-identical, and the flag is ignored by the reference
+        #: engine (which has no native path).
+        self.native = native
 
     @classmethod
     def from_plan(cls, dataset: Dataset, queries: QuerySet, plan: Plan,
@@ -162,7 +167,7 @@ class StreamSystem:
                               self.queries.epoch_seconds, self.value_column,
                               self.salt_seed, registry=registry,
                               strategies=self.strategies,
-                              strategy_state=state)
+                              strategy_state=state, native=self.native)
             if registry is not None:
                 record_strategy_metrics(registry, self.strategies, state)
         else:

@@ -74,6 +74,11 @@ class RunManifest:
     resilience: dict = field(default_factory=dict)
     strategies: dict[str, str] = field(default_factory=dict)
     strategy_decisions: list[dict] = field(default_factory=list)
+    #: Host + native-kernel diagnostics (platform, compiler, per-kernel
+    #: availability and compile errors) from
+    #: :func:`repro.native.machine_info` — the record of whether this
+    #: run's fast paths actually ran natively, and if not, why.
+    machine: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
@@ -201,6 +206,11 @@ class RunManifest:
             manifest.metrics = registry.to_dict()
         if extra:
             manifest.extra = dict(extra)
+        try:
+            from repro.native import machine_info
+            manifest.machine = machine_info()
+        except Exception:  # pragma: no cover - diagnostics best-effort
+            manifest.machine = {}
         return manifest
 
     def to_dict(self) -> dict:
@@ -223,6 +233,7 @@ class RunManifest:
             "resilience": self.resilience,
             "strategies": self.strategies,
             "strategy_decisions": self.strategy_decisions,
+            "machine": self.machine,
             "metrics": self.metrics,
             "extra": self.extra,
         }

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import sys
 import time
 from multiprocessing import shared_memory
 from multiprocessing.connection import wait as _wait_connections
@@ -64,7 +65,8 @@ from repro.parallel.merge import EpochMerger
 from repro.parallel.sharded import _ShardJob, _validate_outcome
 from repro.resilience.faults import CorruptResultError, InjectedFault
 
-__all__ = ["PipelineCoordinator", "PipelineWorkerError"]
+__all__ = ["PipelineCoordinator", "PipelineWorkerError",
+           "require_fork"]
 
 #: Poll granularity for backpressure stalls and the drain loop; bounds
 #: how stale liveness/timeout checks can be while the parent is blocked.
@@ -75,11 +77,30 @@ class PipelineWorkerError(ReproError):
     """A pipeline worker died, misbehaved, or closed its channel."""
 
 
+def require_fork() -> None:
+    """Raise a typed error when POSIX ``fork`` is unavailable.
+
+    The pipeline executor's shared-memory rings and engine setup are
+    fork-inherited, so it cannot run under ``spawn``/``forkserver``-only
+    platforms. :class:`~repro.parallel.ShardedStreamSystem` calls this at
+    construction time so an unsupported ``executor='pipeline'`` request
+    fails immediately with the platform's start method named, not deep
+    in worker setup.
+    """
+    methods = mp.get_all_start_methods()
+    if "fork" in methods:
+        return
+    default = mp.get_start_method(allow_none=True) or \
+        (methods[0] if methods else "unknown")
+    raise ConfigurationError(
+        "the pipeline executor requires the 'fork' multiprocessing start "
+        f"method (POSIX), but this platform ({sys.platform}) only offers "
+        f"{methods} (default {default!r}); use executor='process' or "
+        "'serial' instead")
+
+
 def _fork_context():
-    if "fork" not in mp.get_all_start_methods():
-        raise ConfigurationError(
-            "the pipeline executor requires the 'fork' multiprocessing "
-            "start method (POSIX); use executor='process' instead")
+    require_fork()
     return mp.get_context("fork")
 
 
@@ -92,6 +113,7 @@ class _EngineSetup(NamedTuple):
     value_column: str | None
     salt_seed: int
     strategies: dict[AttributeSet, str] | None = None
+    native: bool = True
 
 
 class _ChunkLayout:
@@ -262,7 +284,7 @@ def _pipeline_worker(shard: int, attempt: int, ring: _ChunkRing,
                      setup.epoch_seconds, setup.value_column,
                      setup.salt_seed, counters=counters, hfta=epoch_hfta,
                      registry=registry, strategies=setup.strategies,
-                     strategy_state=strategy_state)
+                     strategy_state=strategy_state, native=setup.native)
             n_records += len(epoch)
             n_epochs += 1
             results_tx.send(("epoch", n_epochs, epoch_hfta))
@@ -336,7 +358,8 @@ class PipelineCoordinator:
         self.setup = _EngineSetup(
             system._single.configuration, system.shard_buckets,
             system.queries.epoch_seconds, system.value_column,
-            system._single.salt_seed, system._single.strategies)
+            system._single.salt_seed, system._single.strategies,
+            system._single.native)
         self.ctx = _fork_context()
         self.merger = EpochMerger()
         self.lanes: dict[int, _Lane] = {}
@@ -616,7 +639,7 @@ class PipelineCoordinator:
         return _ShardJob(shard, shard_dataset, self.setup.configuration,
                          self.setup.buckets, self.setup.epoch_seconds,
                          self.setup.value_column, self.setup.salt_seed,
-                         self.setup.strategies)
+                         self.setup.strategies, self.setup.native)
 
     def _feed_retry(self, lane: _Lane, job: _ShardJob) -> None:
         columns = self.layout.stream_columns(job.dataset)

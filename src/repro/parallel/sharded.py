@@ -94,6 +94,7 @@ class _ShardJob(NamedTuple):
     value_column: str | None
     salt_seed: int
     strategies: dict[AttributeSet, str] | None = None
+    native: bool = True
 
 
 _ShardOutcome = tuple[int, SimulationResult, MetricsRegistry]
@@ -120,7 +121,8 @@ def _run_shard(job: _ShardJob, attempt: int = 1,
     registry = MetricsRegistry()
     result = simulate(job.dataset, job.configuration, job.buckets,
                       job.epoch_seconds, job.value_column, job.salt_seed,
-                      registry=registry, strategies=job.strategies)
+                      registry=registry, strategies=job.strategies,
+                      native=job.native)
     if fault is not None and fault.kind == "corrupt":
         # Falsified record count, missing sub-registry: garbage the
         # parent's outcome validation must reject.
@@ -240,19 +242,25 @@ class ShardedStreamSystem:
                  fault_plan: FaultPlan | None = None,
                  pipeline_chunk_records: int = 32768,
                  pipeline_ring_slots: int = 4,
-                 strategy=None):
+                 strategy=None,
+                 native: bool = True):
         if int(shards) < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
         if executor not in _EXECUTORS:
             raise ValueError(f"unknown executor {executor!r} "
                              f"(choose from {_EXECUTORS})")
+        if executor == "pipeline":
+            # Fail here, with the platform named, rather than deep in
+            # worker setup after rings and workers are half-built.
+            from repro.parallel.pipeline import require_fork
+            require_fork()
         # A hidden single-core system performs all validation (plan
         # resolution, bucket completeness, value column, WHERE filter) and
         # serves as the shards=1 fast path.
         self._single = StreamSystem(
             dataset, queries, configuration, buckets, plan=plan,
             params=params, value_column=value_column, salt_seed=salt_seed,
-            where=where, strategy=strategy)
+            where=where, strategy=strategy, native=native)
         self.shards = int(shards)
         unsplittable = [rel for rel, b in self._single.buckets.items()
                         if b < self.shards]
@@ -419,7 +427,7 @@ class ShardedStreamSystem:
             _ShardJob(index, shard, self._single.configuration,
                       self.shard_buckets, epoch_seconds,
                       self.value_column, self._single.salt_seed,
-                      self._single.strategies)
+                      self._single.strategies, self._single.native)
             for index, shard in enumerate(
                 split_dataset(dataset, shard_ids, self.shards))
             if len(shard)
@@ -428,7 +436,8 @@ class ShardedStreamSystem:
             jobs = [_ShardJob(0, dataset, self._single.configuration,
                               self.shard_buckets, epoch_seconds,
                               self.value_column, self._single.salt_seed,
-                              self._single.strategies)]
+                              self._single.strategies,
+                              self._single.native)]
         return jobs
 
     def _new_resilience(self) -> ResilienceReport:
