@@ -27,6 +27,15 @@ Measured cases:
   section is equivalence-gated: the kernel's counters and per-epoch HFTA
   totals must be bit-identical to the numpy sweep at every point, or the
   suite exits non-zero.
+* ``hfta`` (its own top-level section) — the columnar HFTA merge: per
+  regime (low-collision, high-collision, and a 4-shard merge) the epoch
+  group-merge and the answer materialization are timed against a
+  live-timed verbatim replica of the pre-columnar path (``np.unique``
+  over the stacked row matrix + per-row dict construction — the
+  "before" number), through the :mod:`repro.native.merge` hash-table
+  kernel and through the numpy fallback. Equivalence-gated: every
+  timed path's totals and answers must be bit-identical to the
+  replica's.
 * ``strategy`` (its own top-level section) — the hash/sort/shared
   crossover curve: three (g, b, epochs) regimes, each timed two ways
   under all three strategies — the engine pass alone (the LFTA-side
@@ -307,6 +316,225 @@ def _engine_cases(records: int, reps: int, cases: dict,
     return section
 
 
+def _reference_hfta_merge(batches, names):
+    """Verbatim replica of the pre-columnar HFTA merge — the "before"
+    number the ``hfta`` section is judged against.
+
+    Stacks every batch into one row matrix, group-uniques it with
+    ``np.unique(axis=0)`` (the lexsort chain the columnar fold
+    replaced), accumulates with ``bincount``/``minimum.at`` and
+    materializes the ``group -> GroupAggregate`` dict row by row —
+    exactly the old ``HFTA.totals`` general path, kept here live-timed
+    so the speedup is measured against real work, not a remembered
+    constant."""
+    from repro.gigascope.hfta import GroupAggregate
+
+    stacked = {name: np.concatenate([b[0][name] for b in batches])
+               for name in names}
+    counts = np.concatenate([b[1] for b in batches])
+    vsums = np.concatenate([b[2] for b in batches])
+    vmins = np.concatenate([b[3] for b in batches])
+    vmaxs = np.concatenate([b[4] for b in batches])
+    matrix = np.column_stack([stacked[name] for name in names])
+    uniques, inverse = np.unique(matrix, axis=0, return_inverse=True)
+    total_counts = np.bincount(inverse, weights=counts)
+    total_vsums = np.bincount(inverse, weights=vsums)
+    total_vmins = np.full(uniques.shape[0], np.inf)
+    np.minimum.at(total_vmins, inverse, vmins)
+    total_vmaxs = np.full(uniques.shape[0], -np.inf)
+    np.maximum.at(total_vmaxs, inverse, vmaxs)
+    merged = {}
+    for i, row in enumerate(uniques):
+        merged[tuple(int(v) for v in row)] = GroupAggregate(
+            int(total_counts[i]), float(total_vsums[i]),
+            float(total_vmins[i]), float(total_vmaxs[i]))
+    return merged
+
+
+def _reference_hfta_answer(totals, kind, having_min):
+    """Verbatim replica of the pre-columnar ``query_answer`` loop."""
+    answer = {}
+    for group, agg in totals.items():
+        if having_min is not None and agg.count < having_min:
+            continue
+        if kind == "count":
+            answer[group] = float(agg.count)
+        elif kind == "sum":
+            answer[group] = agg.value_sum
+        elif kind == "avg":
+            answer[group] = (agg.value_sum / agg.count
+                             if agg.count else 0.0)
+        elif kind == "min":
+            answer[group] = agg.value_min
+        else:
+            answer[group] = agg.value_max
+    return answer
+
+
+def _hfta_batches(rows, groups, n_batches, seed):
+    """Eviction-shaped batches: ``rows`` partial rows over ``groups``
+    distinct (A, B) keys, with counts and value sum/min/max columns."""
+    rng = np.random.default_rng(seed)
+    gid = rng.integers(0, groups, rows)
+    a = (gid >> 10).astype(np.int64)
+    b = (gid & 1023).astype(np.int64)
+    counts = rng.integers(1, 6, rows).astype(np.int64)
+    vs = rng.uniform(0.0, 100.0, rows)
+    vmin = rng.uniform(0.0, 50.0, rows)
+    vmax = vmin + rng.uniform(0.0, 50.0, rows)
+    bounds = np.linspace(0, rows, n_batches + 1).astype(int)
+    return [({"A": a[s:e], "B": b[s:e]}, counts[s:e], vs[s:e],
+             vmin[s:e], vmax[s:e])
+            for s, e in zip(bounds, bounds[1:]) if e > s]
+
+
+def _hfta_cases(records: int, reps: int, checks: list) -> dict:
+    """Time the columnar HFTA merge and answer paths; returns the
+    ``hfta`` section of the JSON document.
+
+    Three regimes: ``low_collision`` (~2 rows per group — the merge is
+    group-discovery-bound), ``high_collision`` (hundreds of rows per
+    group — accumulate-bound), and ``sharded_merge`` (4 shard HFTAs
+    through ``merge_hftas`` + one fold). Each times the columnar path
+    (native kernel when available), the numpy fallback, and the
+    pre-columnar replica; ``answer`` times ``query_answer`` off folded
+    state against the replica's per-group loop. All equivalence-gated.
+    """
+    from repro.core.attributes import AttributeSet
+    from repro.core.queries import Aggregate, AggregationQuery
+    from repro.gigascope.hfta import HFTA
+    from repro.native import merge as native_merge
+    from repro.native.build import kernel_status
+    from repro.parallel.merge import merge_hftas
+
+    rel = AttributeSet.parse("AB")
+    names = rel.names
+
+    def columnar_totals(batches):
+        hfta = HFTA()
+        for batch in batches:
+            hfta.ingest_arrays(rel, 0, *batch)
+        return hfta.totals(rel, 0)
+
+    def with_fallback(fn):
+        real = native_merge.kernel_available
+        native_merge.kernel_available = lambda: False
+        try:
+            return fn()
+        finally:
+            native_merge.kernel_available = real
+
+    available = native_merge.kernel_available()
+    status = kernel_status(native_merge.KERNEL_NAME)
+    section = {
+        "available": available,
+        "kernel": status.to_dict() if status is not None else None,
+        "cases": {},
+    }
+
+    regimes = (
+        ("low_collision", max(2048, records // 2), 16),
+        ("high_collision", 512, 16),
+    )
+    for regime, groups, n_batches in regimes:
+        batches = _hfta_batches(records, groups, n_batches, seed=29)
+        ref_s, ref_totals = _time_case(
+            lambda: _reference_hfta_merge(batches, names), reps)
+        col_s, col_totals = _time_case(
+            lambda: columnar_totals(batches), reps)
+        fb_s, fb_totals = _time_case(
+            lambda: with_fallback(lambda: columnar_totals(batches)), reps)
+        checks.append({"name": f"hfta_columnar_equals_reference_{regime}",
+                       "ok": col_totals == ref_totals})
+        checks.append({"name": f"hfta_fallback_equals_reference_{regime}",
+                       "ok": fb_totals == ref_totals})
+
+        # Answer materialization off already-folded state, vs the
+        # replica's per-group Python loop off its prebuilt dict. Timed
+        # without HAVING (the pure vectorized materialization) and with
+        # a threshold (the masked path, inherently per-group either
+        # way); both equivalence-gated.
+        folded = HFTA()
+        for batch in batches:
+            folded.ingest_arrays(rel, 0, *batch)
+        folded.totals_columnar(rel, 0)
+        query = AggregationQuery(rel, Aggregate("avg", "v"))
+        having = AggregationQuery(rel, Aggregate("avg", "v"),
+                                  having_min=4)
+        ans_ref_s, ans_ref = _time_case(
+            lambda: _reference_hfta_answer(ref_totals, "avg", None), reps)
+        ans_s, ans = _time_case(
+            lambda: folded.query_answer(query, 0), reps)
+        having_ref_s, having_ref = _time_case(
+            lambda: _reference_hfta_answer(ref_totals, "avg", 4), reps)
+        having_s, having_ans = _time_case(
+            lambda: folded.query_answer(having, 0), reps)
+        checks.append({"name": f"hfta_answer_equals_reference_{regime}",
+                       "ok": ans == ans_ref})
+        checks.append({
+            "name": f"hfta_having_answer_equals_reference_{regime}",
+            "ok": having_ans == having_ref})
+
+        section["cases"][regime] = {
+            "rows": records,
+            "groups": len(ref_totals),
+            "batches": n_batches,
+            "reference_merge_seconds": ref_s,
+            "columnar_merge_seconds": col_s,
+            "fallback_merge_seconds": fb_s,
+            "merge_speedup": ref_s / col_s,
+            "fallback_merge_speedup": ref_s / fb_s,
+            "rows_per_sec": records / col_s,
+            "native": available,
+            "reference_answer_seconds": ans_ref_s,
+            "vectorized_answer_seconds": ans_s,
+            "answer_speedup": ans_ref_s / ans_s,
+            "reference_having_answer_seconds": having_ref_s,
+            "vectorized_having_answer_seconds": having_s,
+            "having_answer_speedup": having_ref_s / having_s,
+            # Merge + answer materialization combined — the epoch-close
+            # cost a query actually pays. Conservative for the columnar
+            # side: its merge timing already includes the totals()-dict
+            # build that query_answer never needs.
+            "end_to_end_speedup": (ref_s + ans_ref_s) / (col_s + ans_s),
+        }
+
+    # Sharded merge: 4 shard HFTAs folded into one parent, vs the
+    # replica merging the same batches in the same shard order.
+    n_shards = 4
+    shard_batches = [
+        _hfta_batches(records // n_shards, 4096, 8, seed=31 + i)
+        for i in range(n_shards)
+    ]
+    flat = [batch for shard in shard_batches for batch in shard]
+
+    def sharded_totals():
+        shards = []
+        for per_shard in shard_batches:
+            hfta = HFTA()
+            for batch in per_shard:
+                hfta.ingest_arrays(rel, 0, *batch)
+            shards.append(hfta)
+        return merge_hftas(shards).totals(rel, 0)
+
+    ref_s, ref_totals = _time_case(
+        lambda: _reference_hfta_merge(flat, names), reps)
+    col_s, col_totals = _time_case(sharded_totals, reps)
+    checks.append({"name": "hfta_sharded_equals_reference",
+                   "ok": col_totals == ref_totals})
+    section["cases"]["sharded_merge"] = {
+        "rows": records,
+        "groups": len(ref_totals),
+        "shards": n_shards,
+        "reference_merge_seconds": ref_s,
+        "columnar_merge_seconds": col_s,
+        "merge_speedup": ref_s / col_s,
+        "rows_per_sec": records / col_s,
+        "native": available,
+    }
+    return section
+
+
 #: The crossover regimes: (name, groups, buckets, epochs, metric, drift).
 #: ``metric`` names the timing each regime's winner is judged on:
 #:
@@ -452,6 +680,8 @@ def main(argv: list[str] | None = None) -> int:
     _planner_cases(args.reps, cases, checks)
     print("timing engine sweep (numpy + native kernel)...")
     engine_native = _engine_cases(args.records, args.reps, cases, checks)
+    print("timing HFTA columnar merge...")
+    hfta = _hfta_cases(args.records, args.reps, checks)
     print("timing strategy crossover...")
     strategy = _strategy_cases(args.records, args.reps, checks)
 
@@ -473,6 +703,7 @@ def main(argv: list[str] | None = None) -> int:
                      "quick": args.quick},
         "cases": cases,
         "engine_native": engine_native,
+        "hfta": hfta,
         "strategy": strategy,
         "equivalence": {"ok": all_ok, "checks": checks},
     }
@@ -499,6 +730,14 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(f"{'engine_native':>32}: skipped "
               f"({engine_native.get('skipped')})")
+    for regime, case in hfta["cases"].items():
+        extra = (f", answer {case['answer_speedup']:.2f}x"
+                 f", e2e {case['end_to_end_speedup']:.2f}x"
+                 if "answer_speedup" in case else "")
+        print(f"{'hfta_' + regime:>32}: "
+              f"{case['columnar_merge_seconds'] * 1e3:.1f} ms "
+              f"({case['rows_per_sec'] / 1e6:.2f}M rows/s, "
+              f"merge {case['merge_speedup']:.2f}x vs np.unique{extra})")
     for point in strategy["crossover"]:
         key = f"{point['metric']}_seconds"
         timing = " ".join(f"{s}={point[key][s] * 1e3:.1f}ms"

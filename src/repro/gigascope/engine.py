@@ -179,12 +179,16 @@ def _simulate_epoch(dataset: Dataset, config: Configuration,
         ev_t, ev_w, ev_vs, ev_vmin, ev_vmax, ev_cols = evicted
         children = config.children(rel)
         if not children:
-            # A shared-table emission is one row per present slot — the
-            # exact global table yields no collision duplicates, so the
-            # HFTA can skip its group-unique merge for the batch.
+            # Sort and shared emissions are one row per group by
+            # construction (a group-unique over runs / an exact global
+            # table), so the HFTA adopts the batch as columnar state
+            # directly instead of re-folding it. Bit-identical either
+            # way: their sums are already the run-order bincount the
+            # fold would recompute, and a single-row bin folds to its
+            # own value.
             hfta.ingest_arrays(rel, epoch_id, ev_cols, ev_w, ev_vs,
                                ev_vmin, ev_vmax,
-                               premerged=strategy == "shared")
+                               premerged=strategy in ("sort", "shared"))
             continue
         for child in children:
             child_cols = {a: ev_cols[a] for a in child.names}

@@ -6,16 +6,37 @@ of collisions); the HFTA combines them into the exact per-epoch answer
 value minima/maxima combine by min/max — which is exactly why the phantom
 tree can merge entries at every level without losing information.
 
-This implementation accepts eviction batches as numpy arrays (vectorized
-engine) or as individual :class:`~repro.gigascope.hash_table.Eviction`
-objects (reference engine), merges lazily, and serves final query answers
-with HAVING-style thresholds.
+Per ``(relation, epoch)`` key the state is **columnar**: packed key
+columns plus aligned int64/float64 aggregate arrays
+(:class:`ColumnarTotals`), one row per group. Incoming eviction batches
+buffer briefly and are *folded* into that state by a hash-table
+group-merge — the runtime-compiled C kernel of :mod:`repro.native.merge`
+when available, else a vectorized numpy fold — and the raw batch rows are
+released, so a key's memory is bounded by its group count, not by how
+many batches (collisions, shards) ever mentioned it.
+
+Bit-identity of float sums across incremental folds relies on one
+ordering rule: a re-fold concatenates the accumulated state's rows
+*first*, then the new batch rows in arrival order. A group's sum is then
+``(((0 + a1) + a2) + b1) + b2`` — the exact left-to-right sequence a
+from-scratch fold over all raw rows would perform — because ``0.0 + S``
+is bitwise ``S`` for any accumulated sum ``S`` (state sums are never
+``-0.0``; they were seeded at ``+0.0``). The same rule makes shard merges
+exact: :meth:`merge_from` ships *rows* (pending batches, or a folded
+shard's state as one pseudo-batch per key), never folds state into state
+when raw rows are still pending, so no tree-shaped float addition ever
+occurs where the sequential path would have been flat.
+
+Query answers (:meth:`query_answer`) are computed as whole-array
+operations over the columnar state — aggregate kind and HAVING threshold
+vectorized — with the Python dict materialized only at the API boundary.
 """
 
 from __future__ import annotations
 
 import math
 from collections import defaultdict
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping, NamedTuple
 
 import numpy as np
@@ -23,8 +44,10 @@ import numpy as np
 from repro.core.attributes import AttributeSet
 from repro.core.queries import AggregationQuery
 from repro.gigascope.hash_table import Eviction
+from repro.gigascope.hashing import pack_tuples
+from repro.native import merge as _native_merge
 
-__all__ = ["GroupAggregate", "HFTA"]
+__all__ = ["ColumnarTotals", "GroupAggregate", "HFTA"]
 
 
 class GroupAggregate(NamedTuple):
@@ -43,22 +66,153 @@ class GroupAggregate(NamedTuple):
             max(self.value_max, other.value_max))
 
 
+@dataclass(eq=False)
+class ColumnarTotals:
+    """One ``(relation, epoch)`` key's folded state: one row per group.
+
+    ``columns`` holds the group-key attribute values (aligned with
+    ``names``); the aggregate arrays are int64 (counts) and float64
+    (sums and NaN-propagating min/max, with ``+inf``/``-inf`` sentinels
+    for value-less workloads, mirroring :class:`GroupAggregate`'s
+    defaults). Group order is first-appearance over the folded rows —
+    the invariant that keeps incremental re-folds bit-identical (state
+    rows re-enter a fold first, in state order).
+    """
+
+    names: tuple[str, ...]
+    columns: list[np.ndarray]
+    counts: np.ndarray = field(default_factory=lambda: np.empty(
+        0, dtype=np.int64))
+    value_sums: np.ndarray = field(default_factory=lambda: np.empty(0))
+    value_mins: np.ndarray = field(default_factory=lambda: np.empty(0))
+    value_maxs: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: Lazily materialized Python-tuple group keys; derived, so it is
+    #: dropped from pickles and rebuilt on first use.
+    _tuples: list | None = field(default=None, repr=False)
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.counts.shape[0])
+
+    def group_tuples(self) -> list[tuple[int, ...]]:
+        """The group keys as Python int tuples (API-boundary form).
+
+        Materialized once per state: every answer for this (relation,
+        epoch) — any aggregate kind, any HAVING threshold — reuses the
+        same key tuples, which is most of a dict answer's cost.
+        """
+        if self._tuples is None:
+            self._tuples = list(zip(*(_int_list(col)
+                                      for col in self.columns)))
+        return self._tuples
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_tuples"] = None
+        return state
+
+
+def _int_list(col: np.ndarray) -> list[int]:
+    if col.dtype.kind in "iu":
+        return col.tolist()
+    return [int(v) for v in col.tolist()]
+
+
 _GroupTotals = dict[tuple[int, ...], GroupAggregate]
 
 _Batch = tuple[dict[str, np.ndarray], np.ndarray, np.ndarray,
                np.ndarray | None, np.ndarray | None]
 
 
+def _fold_rows(cols: list[np.ndarray], counts: np.ndarray,
+               vsums: np.ndarray, vmins: np.ndarray, vmaxs: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+                          np.ndarray]:
+    """Group-merge aligned partial rows; first-appearance group order.
+
+    Returns ``(rep, counts, sums, mins, maxs)`` with ``rep`` the first
+    row index of each group. Dispatches to the C kernel when it is
+    loaded and every key column is an integer kind (viewable as the
+    uint64 bits the kernel compares); the numpy fold computes the
+    identical result for everything else.
+    """
+    if _native_merge.kernel_available():
+        eq_cols = _equality_columns(cols)
+        if eq_cols is not None:
+            return _native_merge.merge_rows(eq_cols, counts, vsums,
+                                            vmins, vmaxs)
+    return _fold_rows_numpy(cols, counts, vsums, vmins, vmaxs)
+
+
+def _equality_columns(cols: list[np.ndarray]) -> list[np.ndarray] | None:
+    """uint64 views of integer key columns, or None if any is exotic."""
+    eq_cols = []
+    for col in cols:
+        if col.dtype == np.int64:
+            # Same bits, bijective: int64 -> uint64 is a view.
+            eq_cols.append(col.view(np.uint64))
+        elif col.dtype == np.uint64:
+            eq_cols.append(col)
+        elif col.dtype.kind in "iub":
+            eq_cols.append(col.astype(np.uint64))
+        else:
+            return None
+    return eq_cols
+
+
+def _fold_rows_numpy(cols: list[np.ndarray], counts: np.ndarray,
+                     vsums: np.ndarray, vmins: np.ndarray,
+                     vmaxs: np.ndarray):
+    """The vectorized fallback fold, canonicalized to the kernel's order.
+
+    ``pack_tuples`` gives collision-free per-call codes (any dtype), one
+    1-D ``np.unique`` groups them, and the sorted group ids are remapped
+    to first-appearance order. ``np.bincount`` accumulates every bin in
+    row order seeded at 0.0 and the remap permutes *labels*, not rows,
+    so each group's float sum is the identical left-to-right sequence
+    the kernel performs.
+    """
+    codes = pack_tuples(cols)
+    _, first, inverse = np.unique(codes, return_index=True,
+                                  return_inverse=True)
+    g = int(first.shape[0])
+    order = np.argsort(first, kind="stable")
+    rank = np.empty(g, dtype=np.int64)
+    rank[order] = np.arange(g, dtype=np.int64)
+    inv = rank[inverse]
+    out_counts = np.bincount(inv, weights=counts,
+                             minlength=g).astype(np.int64)
+    out_vs = np.bincount(inv, weights=vsums, minlength=g)
+    out_vmin = np.full(g, np.inf)
+    np.minimum.at(out_vmin, inv, vmins)
+    out_vmax = np.full(g, -np.inf)
+    np.maximum.at(out_vmax, inv, vmaxs)
+    return first[order], out_counts, out_vs, out_vmin, out_vmax
+
+
 class HFTA:
     """Merges evicted partial aggregates into final per-epoch answers."""
 
     def __init__(self) -> None:
+        #: Unfolded eviction batches per key (raw rows, arrival order).
         self._batches: dict[tuple[AttributeSet, int], list[_Batch]] = \
             defaultdict(list)
-        self._totals_cache: dict[tuple[AttributeSet, int], _GroupTotals] = {}
-        #: Keys whose every batch arrived pre-merged (one row per group).
+        #: Folded per-key state: one row per group, first-appearance
+        #: order. Keys move here (and their batch lists are released)
+        #: on the first :meth:`totals`/answer call or eagerly via
+        #: :meth:`finalize_epoch`.
+        self._columnar: dict[tuple[AttributeSet, int], ColumnarTotals] = {}
+        #: Materialized ``group tuple -> GroupAggregate`` dicts (the
+        #: :meth:`totals` API boundary); derived, dropped from pickles.
+        self._answer_cache: dict[tuple[AttributeSet, int],
+                                 _GroupTotals] = {}
+        #: Keys whose every pending batch arrived pre-merged (one row
+        #: per group).
         self._premerged: set[tuple[AttributeSet, int]] = set()
         self.evictions_received = 0
+        #: Diagnostic counters for the merge path (manifest/bench food).
+        self.folds = 0
+        self.rows_folded = 0
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -73,11 +227,15 @@ class HFTA:
         """Accept a batch of evicted entries as aligned arrays.
 
         ``premerged`` declares that the batch already holds exactly one
-        row per group — the ``shared``-strategy emission, whose exact
-        global table produces no collision duplicates. An epoch whose
-        only batch is premerged skips the group-unique merge entirely in
-        :meth:`totals` (the answers are bit-identical either way; a
-        single-row "bin" folds to its own value).
+        row per group — the ``sort``/``shared`` strategy emissions,
+        which group-merge (or keep an exact global table of) the epoch's
+        runs before shipping. An epoch whose only contribution is one
+        premerged batch is adopted as columnar state directly, skipping
+        the group-merge fold (the answers are bit-identical either way;
+        a single-row "bin" folds to its own value). The flag is demoted
+        the moment a second batch — premerged or not — touches the key:
+        two one-row-per-group batches still hold duplicate groups
+        *between* them.
         """
         n = int(np.asarray(counts).shape[0])
         if n == 0:
@@ -90,13 +248,14 @@ class HFTA:
         vmaxs = (None if value_maxs is None
                  else np.asarray(value_maxs, dtype=np.float64))
         key = (relation, epoch)
-        if premerged and key not in self._batches:
+        if premerged and key not in self._batches \
+                and key not in self._columnar:
             self._premerged.add(key)
-        elif not premerged:
+        else:
             self._premerged.discard(key)
         self._batches[key].append(
             (cols, np.asarray(counts, dtype=np.int64), vsums, vmins, vmaxs))
-        self._totals_cache.pop(key, None)
+        self._answer_cache.pop(key, None)
         self.evictions_received += n
 
     def ingest_evictions(self, relation: AttributeSet, epoch: int,
@@ -118,28 +277,143 @@ class HFTA:
             np.array([e.value_max for e in evs], dtype=np.float64))
 
     def merge_from(self, other: "HFTA") -> None:
-        """Fold another HFTA's pending partials into this one.
+        """Fold another HFTA's partials into this one.
 
-        Partial aggregates are mergeable, so combining the batch lists of
-        two HFTAs — e.g. the per-shard HFTAs of a partitioned parallel run
-        — yields exactly the totals a single HFTA fed by both streams
-        would have produced.
+        Partial aggregates are mergeable, so combining the contents of
+        two HFTAs — e.g. the per-shard HFTAs of a partitioned parallel
+        run — yields exactly the totals a single HFTA fed by both
+        streams would have produced. The other side's contribution
+        always arrives as *rows*: pending batches ride over verbatim,
+        and a key the other side already folded rides as one
+        pseudo-batch of its state rows (state first, then its pending
+        batches, preserving the other side's own fold order). The next
+        fold here appends those rows after this side's — the sequential
+        float-addition order of a single merged stream.
         """
-        for key, batches in other._batches.items():
-            if key in other._premerged and key not in self._batches:
+        other_keys = dict.fromkeys(
+            list(other._columnar) + list(other._batches))
+        for key in other_keys:
+            parts: list[_Batch] = []
+            state = other._columnar.get(key)
+            if state is not None:
+                parts.append((dict(zip(state.names, state.columns)),
+                              state.counts, state.value_sums,
+                              state.value_mins, state.value_maxs))
+            parts.extend(other._batches.get(key, ()))
+            if key in other._premerged and state is None \
+                    and len(parts) == 1 and key not in self._batches \
+                    and key not in self._columnar:
                 self._premerged.add(key)
             else:
                 self._premerged.discard(key)
-            self._batches[key].extend(batches)
-            self._totals_cache.pop(key, None)
+            if state is not None and key not in self._batches \
+                    and key not in self._columnar and len(parts) == 1:
+                # Nothing on this side: adopt the folded state wholesale.
+                self._columnar[key] = state
+            else:
+                self._batches[key].extend(parts)
+            self._answer_cache.pop(key, None)
         self.evictions_received += other.evictions_received
+        self.folds += other.folds
+        self.rows_folded += other.rows_folded
+
+    def __getstate__(self) -> dict:
+        # The answer cache is derived state (and can be large); folds
+        # rebuild it on demand after a restore.
+        state = self.__dict__.copy()
+        state["_answer_cache"] = {}
+        return state
 
     def __setstate__(self, state: dict) -> None:
-        # Checkpoints written before the premerged fast path existed
-        # unpickle without the flag set; default it empty (always safe —
-        # the flag only ever skips work, never changes answers).
+        # Pre-columnar snapshots carry raw batch lists plus a totals
+        # cache of GroupAggregate dicts; the batches are the source of
+        # truth, so drop the cache and refold lazily. `_premerged`
+        # (older still) defaults empty — always safe, it only ever
+        # skips work.
+        state.pop("_totals_cache", None)
         self.__dict__.update(state)
         self.__dict__.setdefault("_premerged", set())
+        self.__dict__.setdefault("_columnar", {})
+        self.__dict__.setdefault("_answer_cache", {})
+        self.__dict__.setdefault("folds", 0)
+        self.__dict__.setdefault("rows_folded", 0)
+
+    # ------------------------------------------------------------------
+    # Folding
+    # ------------------------------------------------------------------
+    def _fold(self, relation: AttributeSet,
+              epoch: int) -> ColumnarTotals | None:
+        """Fold a key's pending batches into its columnar state.
+
+        Releases the batch list (the memory-bounding step) and returns
+        the state, or None when the key was never fed.
+        """
+        key = (relation, epoch)
+        batches = self._batches.pop(key, None)
+        state = self._columnar.get(key)
+        if not batches:
+            return state
+        premerged = key in self._premerged
+        self._premerged.discard(key)
+        names = relation.names
+        if state is None and premerged and len(batches) == 1:
+            # One batch, one row per group by contract: adopt verbatim.
+            cols, counts, vsums, vmins, vmaxs = batches[0]
+            n = counts.shape[0]
+            state = ColumnarTotals(
+                names, [np.asarray(cols[name]) for name in names], counts,
+                vsums,
+                vmins if vmins is not None else np.full(n, np.inf),
+                vmaxs if vmaxs is not None else np.full(n, -np.inf))
+            self._columnar[key] = state
+            return state
+        parts: list[_Batch] = []
+        if state is not None:
+            # State rows first: extending an accumulated sum with new
+            # rows preserves the exact sequential addition order (see
+            # module docstring).
+            parts.append((dict(zip(state.names, state.columns)),
+                          state.counts, state.value_sums,
+                          state.value_mins, state.value_maxs))
+        parts.extend(batches)
+        cat_cols = [np.concatenate([part[0][name] for part in parts])
+                    for name in names]
+        counts = np.concatenate([part[1] for part in parts])
+        vsums = np.concatenate([part[2] for part in parts])
+        vmins = np.concatenate([
+            part[3] if part[3] is not None
+            else np.full(part[1].shape[0], np.inf) for part in parts])
+        vmaxs = np.concatenate([
+            part[4] if part[4] is not None
+            else np.full(part[1].shape[0], -np.inf) for part in parts])
+        rep, g_counts, g_vs, g_vmin, g_vmax = _fold_rows(
+            cat_cols, counts, vsums, vmins, vmaxs)
+        state = ColumnarTotals(names, [col[rep] for col in cat_cols],
+                               g_counts, g_vs, g_vmin, g_vmax)
+        self._columnar[key] = state
+        self.folds += 1
+        self.rows_folded += int(counts.shape[0])
+        return state
+
+    def finalize_epoch(self, epoch: int) -> int:
+        """Eagerly fold every relation's pending batches for one epoch.
+
+        The incremental runtime calls this as each epoch closes, so a
+        long-running system holds only compact per-group state for past
+        epochs — raw eviction batch lists are released here. Returns the
+        number of keys folded (for the ``hfta.merge`` metrics).
+        """
+        keys = [k for k in self._batches if k[1] == epoch]
+        for relation, ep in keys:
+            self._fold(relation, ep)
+        return len(keys)
+
+    def finalize(self) -> int:
+        """Fold every pending key (e.g. before checkpointing)."""
+        keys = list(self._batches)
+        for relation, epoch in keys:
+            self._fold(relation, epoch)
+        return len(keys)
 
     # ------------------------------------------------------------------
     # Results
@@ -147,92 +421,79 @@ class HFTA:
     @property
     def epochs_seen(self) -> list[int]:
         """All epoch ids for which any relation received evictions."""
-        return sorted({epoch for (_, epoch) in self._batches})
+        return sorted({epoch for (_, epoch) in self._keys()})
 
     def epochs(self, relation: AttributeSet) -> list[int]:
         """Epoch ids for which this relation received evictions."""
-        return sorted({epoch for (rel, epoch) in self._batches
+        return sorted({epoch for (rel, epoch) in self._keys()
                        if rel == relation})
+
+    def _keys(self) -> set[tuple[AttributeSet, int]]:
+        return set(self._batches) | set(self._columnar)
+
+    def totals_columnar(self, relation: AttributeSet,
+                        epoch: int) -> ColumnarTotals | None:
+        """The folded columnar state for one key (None if never fed).
+
+        Folds pending batches first, so the returned arrays are always
+        one row per group. This is the allocation-light interface —
+        :meth:`totals` is the same data materialized as a dict.
+        """
+        return self._fold(relation, epoch)
 
     def totals(self, relation: AttributeSet, epoch: int) -> _GroupTotals:
         """Merged ``group -> GroupAggregate`` for one epoch."""
         key = (relation, epoch)
-        if key in self._totals_cache:
-            return self._totals_cache[key]
-        batches = self._batches.get(key, [])
+        cached = self._answer_cache.get(key)
+        if cached is not None:
+            return cached
+        state = self._fold(relation, epoch)
         merged: _GroupTotals = {}
-        if len(batches) == 1 and key in self._premerged:
-            # A lone premerged batch is already one row per group: fold
-            # each row to itself instead of group-uniquing the matrix.
-            # (A single-row bincount bin sums to its own float, so the
-            # aggregates are bit-identical to the merge path's.)
-            cols, counts, vsums, vmins, vmaxs = batches[0]
-            n = counts.shape[0]
-            rows = zip(*(cols[name].tolist() for name in relation.names))
-            lows = vmins.tolist() if vmins is not None else [math.inf] * n
-            highs = (vmaxs.tolist() if vmaxs is not None
-                     else [-math.inf] * n)
-            for row, c, s, lo, hi in zip(rows, counts.tolist(),
-                                         vsums.tolist(), lows, highs):
-                merged[row] = GroupAggregate(c, s, lo, hi)
-            self._totals_cache[key] = merged
-            return merged
-        if batches:
-            names = relation.names
-            stacked = {
-                name: np.concatenate([b[0][name] for b in batches])
-                for name in names
-            }
-            counts = np.concatenate([b[1] for b in batches])
-            vsums = np.concatenate([b[2] for b in batches])
-            vmins = np.concatenate([
-                b[3] if b[3] is not None else np.full(b[1].shape[0], np.inf)
-                for b in batches])
-            vmaxs = np.concatenate([
-                b[4] if b[4] is not None else np.full(b[1].shape[0], -np.inf)
-                for b in batches])
-            matrix = np.column_stack([stacked[name] for name in names])
-            uniques, inverse = np.unique(matrix, axis=0, return_inverse=True)
-            total_counts = np.bincount(inverse, weights=counts)
-            total_vsums = np.bincount(inverse, weights=vsums)
-            total_vmins = np.full(uniques.shape[0], np.inf)
-            np.minimum.at(total_vmins, inverse, vmins)
-            total_vmaxs = np.full(uniques.shape[0], -np.inf)
-            np.maximum.at(total_vmaxs, inverse, vmaxs)
-            for i, row in enumerate(uniques):
-                merged[tuple(int(v) for v in row)] = GroupAggregate(
-                    int(total_counts[i]), float(total_vsums[i]),
-                    float(total_vmins[i]), float(total_vmaxs[i]))
-        self._totals_cache[key] = merged
+        if state is not None and state.n_groups:
+            merged = dict(zip(
+                state.group_tuples(),
+                map(GroupAggregate, state.counts.tolist(),
+                    state.value_sums.tolist(), state.value_mins.tolist(),
+                    state.value_maxs.tolist())))
+        self._answer_cache[key] = merged
         return merged
 
     def query_answer(self, query: AggregationQuery,
                      epoch: int) -> dict[tuple[int, ...], float]:
         """The final answer of a query for one epoch.
 
-        Applies the aggregate function (``count``/``sum``/``avg``/``min``/
-        ``max``) and the HAVING threshold (on group count) if the query
-        declares one.
+        Applies the aggregate function (``count``/``sum``/``avg``/
+        ``min``/``max``) and the HAVING threshold (on group count) as
+        whole-array operations over the columnar state; the dict is
+        materialized only at this API boundary.
         """
-        totals = self.totals(query.group_by, epoch)
-        answer: dict[tuple[int, ...], float] = {}
+        state = self._fold(query.group_by, epoch)
+        if state is None or not state.n_groups:
+            return {}
+        counts = state.counts
         kind = query.aggregate.kind
-        for group, agg in totals.items():
-            if query.having_min is not None and \
-                    agg.count < query.having_min:
-                continue
-            if kind == "count":
-                answer[group] = float(agg.count)
-            elif kind == "sum":
-                answer[group] = agg.value_sum
-            elif kind == "avg":
-                answer[group] = (agg.value_sum / agg.count
-                                 if agg.count else 0.0)
-            elif kind == "min":
-                answer[group] = agg.value_min
-            else:  # max
-                answer[group] = agg.value_max
-        return answer
+        if kind == "count":
+            values = counts.astype(np.float64)
+        elif kind == "sum":
+            values = state.value_sums
+        elif kind == "avg":
+            values = np.zeros(state.n_groups)
+            np.divide(state.value_sums, counts, out=values,
+                      where=counts != 0)
+        elif kind == "min":
+            values = state.value_mins
+        else:  # max
+            values = state.value_maxs
+        groups = state.group_tuples()
+        if query.having_min is not None:
+            keep = counts >= query.having_min
+            if not keep.all():
+                return {group: value
+                        for group, value, kept in zip(groups,
+                                                      values.tolist(),
+                                                      keep.tolist())
+                        if kept}
+        return dict(zip(groups, values.tolist()))
 
     def all_answers(self, query: AggregationQuery
                     ) -> dict[int, dict[tuple[int, ...], float]]:

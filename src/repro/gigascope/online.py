@@ -296,6 +296,14 @@ class LiveStreamSystem:
                      registry=self.registry, strategies=era.strategies,
                      strategy_state=self._strategy_state,
                      native=self.native)
+        # Fold the closed epoch's eviction batches into compact columnar
+        # state now (its own span, so manifests show merge vs ingest
+        # share): the raw batch lists are released, bounding HFTA memory
+        # by live group counts over arbitrarily long runs.
+        with trace(self.registry, "hfta.merge"):
+            finalized = self.hfta.finalize_epoch(epoch)
+        if self.registry is not None and finalized:
+            self.registry.counter("hfta.keys_finalized").inc(finalized)
         report = EpochReport(
             epoch, len(dataset), era.configuration,
             era.counters.measured_intra_cost(self.params).total

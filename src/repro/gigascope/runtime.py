@@ -65,6 +65,11 @@ class RunReport:
         return self.result.hfta.all_answers(query)
 
     def summary(self) -> str:
+        from repro.native import merge as native_merge
+
+        hfta = self.result.hfta
+        merge_path = ("native" if native_merge.kernel_available()
+                      else "numpy")
         lines = [
             f"records processed : {self.result.n_records}",
             f"epochs            : {self.result.n_epochs}",
@@ -73,7 +78,9 @@ class RunReport:
             f"evict {self.intra_cost.evict:.0f})",
             f"end-of-epoch cost : {self.flush_cost.total:.0f}",
             f"cost per record   : {self.per_record_cost:.3f}",
-            f"HFTA evictions    : {self.result.hfta.evictions_received}",
+            f"HFTA evictions    : {hfta.evictions_received}",
+            f"HFTA merge        : {hfta.folds} folds over "
+            f"{hfta.rows_folded} rows ({merge_path} kernel)",
         ]
         if self.resilience is not None and self.resilience.total_retries:
             lines.append(

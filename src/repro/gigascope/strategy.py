@@ -27,7 +27,11 @@ detection, eviction classification), so measured cost counters are
 bit-identical across strategies by construction.  Strategies only change
 the emission data path from leaf relations to the HFTA; answers are
 bit-identical too because per-group partials are folded in the same
-(run-time) order the hash path's HFTA merge would use.
+(run-time) order the hash path's HFTA merge would use.  Both non-hash
+leaf emissions are one row per group by construction, so the engine
+ships them ``premerged=True`` and the columnar HFTA adopts a lone such
+batch as its folded state without re-grouping (see
+:meth:`repro.gigascope.hfta.HFTA.ingest_arrays`).
 
 Non-hash strategies are restricted to **leaf** relations: an interior
 relation's eviction stream *is* the input of its children, so replacing

@@ -3,7 +3,8 @@
 ``repro.native.build`` owns the compile-at-first-use pattern every C
 kernel shares (compiler discovery, on-disk cache, ``REPRO_NO_CKERNEL``
 opt-out, per-kernel diagnostics); ``repro.native.ingest`` is the fused
-LFTA accounting kernel behind the vectorized engine's hot loop. The
+LFTA accounting kernel behind the vectorized engine's hot loop and
+``repro.native.merge`` the HFTA's hash-table group-merge fold. The
 allocation descent kernel (:mod:`repro.core.allocation._ckernel`) builds
 on the same machinery.
 
@@ -34,6 +35,7 @@ __all__ = ["DEFAULT_FLAGS", "KernelStatus", "compiler_path", "diagnostics",
 #: and the availability predicate each exposes.
 _KNOWN_KERNELS = (
     ("repro.native.ingest", "kernel_available"),
+    ("repro.native.merge", "kernel_available"),
     ("repro.core.allocation._ckernel", "kernel_available"),
 )
 

@@ -1,0 +1,194 @@
+"""C kernel for the HFTA's group-merge fold (hash-table accumulate).
+
+The HFTA's job is the opposite of the LFTA's: take rows of *partial*
+aggregates — several per group, because collisions split a group's epoch
+across evictions and shards split it across batches — and fold them to
+exactly one row per group. The numpy path does this with a full
+group-unique (``pack_tuples`` + ``np.unique``, i.e. a sort); this kernel
+does it the way *Global Hash Tables Strike Back!* argues wins in the
+partial-aggregate regime: one pass over the rows through an
+open-addressing hash table, accumulating in place.
+
+Bit-identity contract (pinned by ``tests/gigascope/test_hfta_columnar.py``
+and the ``hfta`` equivalence gate in ``benchmarks/bench_perf_suite.py``):
+
+* *Grouping.* Two rows merge iff every raw key column matches — the same
+  equivalence relation as the numpy fold's collision-free pack codes.
+  The splitmix64 chain (op-for-op :func:`repro.gigascope.hashing._chain`)
+  only *places* rows; equality is always decided on the columns, so hash
+  collisions cost probes, never correctness.
+* *Floats.* A group's value sum accumulates in row order starting from
+  ``0.0`` — the order and seed of ``np.bincount`` — and min/max reproduce
+  ``np.minimum.at``/``np.maximum.at`` NaN-propagation. With contraction
+  and fast-math off (:data:`repro.native.build.DEFAULT_FLAGS`) C doubles
+  round identically to numpy float64.
+* *Counts.* Accumulated as native ``int64`` — identical to the numpy
+  fold's float64 ``bincount`` for any realistic total (< 2**53) and exact
+  beyond it.
+* *Order.* Groups come out in first-appearance (row) order, and the
+  numpy fallback canonicalizes to the same order, so the two paths
+  produce identical columnar layouts, not merely equal dicts. The HFTA
+  relies on this: a re-fold places existing groups' state rows first, so
+  extending an accumulated sum with new rows preserves the exact
+  left-to-right addition sequence of a from-scratch fold.
+
+The kernel is best-effort: no compiler, ``REPRO_NO_CKERNEL=1``, or
+ineligible dtypes fall back to the numpy fold with identical results.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from repro.native.build import load_kernel
+
+__all__ = ["KERNEL_NAME", "kernel_available", "merge_rows"]
+
+KERNEL_NAME = "hfta_merge"
+
+_SOURCE = r"""
+#include <stddef.h>
+#include <stdint.h>
+#include <math.h>
+
+/* splitmix64 finalizer; uint64_t arithmetic wraps exactly like numpy's. */
+static uint64_t mix64(uint64_t z) {
+    z += 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/* Fold n partial-aggregate rows into one row per distinct key tuple.
+ * table is an open-addressing slot array of capacity cap (a power of
+ * two), filled with -1 by the caller; linear probing, equality decided
+ * on the raw key columns. Groups are numbered in first-appearance
+ * order; rep[g] is the first row index of group g. Returns the group
+ * count. */
+int64_t repro_hfta_merge(
+    const uint64_t **cols, int64_t k, int64_t n,
+    const int64_t *counts,
+    const double *vs, const double *vmin, const double *vmax,
+    uint64_t salt, int64_t cap, int64_t *table,
+    int64_t *rep, int64_t *out_counts,
+    double *out_vs, double *out_vmin, double *out_vmax)
+{
+    const uint64_t mask = (uint64_t)cap - 1ULL;
+    const uint64_t state = mix64(salt);
+    int64_t n_groups = 0;
+    int64_t i, g, r;
+    uint64_t d, s;
+    int c, same;
+
+    for (i = 0; i < n; i++) {
+        d = mix64(cols[0][i] ^ state);
+        for (c = 1; c < k; c++)
+            d = mix64(d ^ mix64(cols[c][i] ^ state));
+        s = d & mask;
+        for (;;) {
+            g = table[s];
+            if (g < 0) {            /* empty slot: new group */
+                table[s] = n_groups;
+                rep[n_groups] = i;
+                out_counts[n_groups] = counts[i];
+                /* bincount seeds its sums at 0.0 */
+                out_vs[n_groups] = 0.0 + vs[i];
+                out_vmin[n_groups] = vmin[i];
+                out_vmax[n_groups] = vmax[i];
+                n_groups++;
+                break;
+            }
+            r = rep[g];
+            same = 1;
+            for (c = 0; c < k; c++) {
+                if (cols[c][i] != cols[c][r]) { same = 0; break; }
+            }
+            if (same) {             /* accumulate into the group */
+                out_counts[g] += counts[i];
+                out_vs[g] += vs[i];
+                /* np.minimum/np.maximum: NaN always propagates */
+                if (isnan(vmin[i]) || vmin[i] < out_vmin[g])
+                    out_vmin[g] = vmin[i];
+                if (isnan(vmax[i]) || vmax[i] > out_vmax[g])
+                    out_vmax[g] = vmax[i];
+                break;
+            }
+            s = (s + 1ULL) & mask;  /* hash collision: linear probe */
+        }
+    }
+    return n_groups;
+}
+"""
+
+_lib: ctypes.CDLL | None = None
+_tried = False
+
+_U64P = ctypes.POINTER(ctypes.c_uint64)
+_I64P = ctypes.POINTER(ctypes.c_int64)
+_F64P = ctypes.POINTER(ctypes.c_double)
+
+
+def kernel_available() -> bool:
+    """Whether the HFTA merge kernel could be compiled and loaded."""
+    global _lib, _tried
+    if not _tried:
+        _tried = True
+        lib = load_kernel(KERNEL_NAME, _SOURCE)
+        if lib is not None:
+            lib.repro_hfta_merge.restype = ctypes.c_int64
+            lib.repro_hfta_merge.argtypes = [
+                ctypes.POINTER(_U64P), ctypes.c_int64, ctypes.c_int64,
+                _I64P, _F64P, _F64P, _F64P,
+                ctypes.c_uint64, ctypes.c_int64, _I64P,
+                _I64P, _I64P, _F64P, _F64P, _F64P,
+            ]
+            _lib = lib
+    return _lib is not None
+
+
+def merge_rows(cols: list[np.ndarray], counts: np.ndarray,
+               vs: np.ndarray, vmin: np.ndarray, vmax: np.ndarray,
+               salt: int = 0):
+    """Fold partial-aggregate rows to one row per distinct key tuple.
+
+    ``cols`` are the uint64 equality columns (int64 attribute values
+    viewed as uint64); ``counts``/``vs``/``vmin``/``vmax`` are the
+    aligned int64/float64 partials. Returns ``(rep, counts, vs, vmin,
+    vmax)`` with one entry per group in first-appearance order, ``rep``
+    holding each group's first row index into the inputs. Call only when
+    :func:`kernel_available`.
+    """
+    assert _lib is not None
+    n = int(counts.shape[0])
+    k = len(cols)
+    cols = [np.ascontiguousarray(col, dtype=np.uint64) for col in cols]
+    col_ptrs = (_U64P * k)(*[col.ctypes.data_as(_U64P) for col in cols])
+    counts = np.ascontiguousarray(counts, dtype=np.int64)
+    vs = np.ascontiguousarray(vs, dtype=np.float64)
+    vmin = np.ascontiguousarray(vmin, dtype=np.float64)
+    vmax = np.ascontiguousarray(vmax, dtype=np.float64)
+
+    # Power-of-two capacity at <= 0.5 load keeps linear probes short.
+    cap = 1 << max(4, (2 * n - 1).bit_length())
+    table = np.full(cap, -1, dtype=np.int64)
+    rep = np.empty(n, dtype=np.int64)
+    out_counts = np.empty(n, dtype=np.int64)
+    out_vs = np.empty(n, dtype=np.float64)
+    out_vmin = np.empty(n, dtype=np.float64)
+    out_vmax = np.empty(n, dtype=np.float64)
+
+    g = _lib.repro_hfta_merge(
+        col_ptrs, ctypes.c_int64(k), ctypes.c_int64(n),
+        counts.ctypes.data_as(_I64P),
+        vs.ctypes.data_as(_F64P), vmin.ctypes.data_as(_F64P),
+        vmax.ctypes.data_as(_F64P),
+        ctypes.c_uint64(salt & 0xFFFFFFFFFFFFFFFF),
+        ctypes.c_int64(cap), table.ctypes.data_as(_I64P),
+        rep.ctypes.data_as(_I64P), out_counts.ctypes.data_as(_I64P),
+        out_vs.ctypes.data_as(_F64P), out_vmin.ctypes.data_as(_F64P),
+        out_vmax.ctypes.data_as(_F64P))
+
+    return (rep[:g].copy(), out_counts[:g].copy(), out_vs[:g].copy(),
+            out_vmin[:g].copy(), out_vmax[:g].copy())

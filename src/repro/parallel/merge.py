@@ -7,6 +7,14 @@ minima and maxima combine, avg is derived as sum/count at answer time.
 Merging N shard HFTAs is therefore the same operation the HFTA already
 performs on LFTA eviction batches, applied one level up.
 
+``HFTA.merge_from`` ships each shard's contribution as *rows* (pending
+eviction batches, or an already-folded shard's columnar state as one
+pseudo-batch per key); the single hash-table fold at answer time then
+accumulates every group's float sum in one sequential left-to-right
+pass — bit-identical to an unsharded run, with no state-into-state tree
+additions. The fold itself runs through the runtime-compiled merge
+kernel (:mod:`repro.native.merge`) when available.
+
 Cost counters merge by plain summation: a probe or eviction that happened
 on some shard happened in the system, so the merged counters price the
 *total* work of the sharded run (which differs from a single-table run of
@@ -59,7 +67,12 @@ class EpochMerger:
     accumulated per-shard HFTA is batch-for-batch identical to the HFTA a
     serial run of that shard would have produced (each ``(relation,
     epoch)`` key appears in exactly one delivery, so list order per key
-    is the engine's own eviction order).
+    is the engine's own eviction order). Deliveries deliberately
+    accumulate as pending rows rather than being folded per shard as
+    they land: folding each shard early and then merging folded states
+    would tree-shape the float additions at the cross-shard merge, while
+    the single fold at answer time replays every shipped row in one
+    sequential pass — bit-identical to the serial sharded executor.
     """
 
     def __init__(self) -> None:

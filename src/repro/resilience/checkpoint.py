@@ -19,9 +19,14 @@ state payload, so a reader can reject foreign or future files with a
 Version history: version 1 predates runtime query-set swaps (no
 ``_staged_queries``) and carries no ``extra`` payload; version 2
 predates per-relation execution strategies (no ``strategy_spec`` /
-``_strategy_state``). Older files are still readable — missing fields
-take their implied defaults (no staged query set, all-hash
-strategies with an empty shared-table state). The
+``_strategy_state``); version 3 predates the columnar HFTA — its HFTA
+payload holds raw eviction batch lists (plus a ``_totals_cache`` of
+merged dicts) instead of folded per-group columnar state. Older files
+are still readable — missing fields take their implied defaults (no
+staged query set, all-hash strategies with an empty shared-table
+state), and a version-3 HFTA upgrades itself on unpickle
+(``HFTA.__setstate__`` drops the stale cache and keeps the batch
+lists, which the first fold then compacts). The
 ``extra`` payload is an opaque caller dict: the multi-tenant
 :class:`~repro.service.StreamService` stores its query registry,
 tenant activation windows and admission configuration there so a
@@ -48,7 +53,7 @@ __all__ = ["CHECKPOINT_MAGIC", "CHECKPOINT_VERSION", "load_live_checkpoint",
            "read_checkpoint_document", "save_live_checkpoint"]
 
 CHECKPOINT_MAGIC = "repro-live-checkpoint"
-CHECKPOINT_VERSION = 3
+CHECKPOINT_VERSION = 4
 
 __doc__ = __doc__.format(version=CHECKPOINT_VERSION)
 
@@ -83,6 +88,10 @@ def _upgrade_state(state: dict, version: int) -> None:
             if not hasattr(era, "strategies"):
                 era.strategies = {rel: "hash"
                                   for rel in era.configuration.relations}
+    # version < 4 needs no handling here: the pre-columnar HFTA payload
+    # (raw batch lists + `_totals_cache`) upgrades itself during
+    # unpickling — ``HFTA.__setstate__`` fills the columnar fields and
+    # drops the stale cache, and the first fold compacts the batches.
 
 
 def save_live_checkpoint(system, path: str | Path,
